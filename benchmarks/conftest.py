@@ -1,0 +1,11 @@
+"""Benchmark configuration: each paper figure/table gets one benchmark
+that regenerates its rows/series once (pedantic single-round runs; the
+experiments are minutes-scale simulations, not microbenchmarks)."""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)

@@ -1,0 +1,17 @@
+"""Figure 2-2: jerk and movement-hint detection."""
+
+from conftest import run_once
+
+from repro.experiments import fig2_2
+
+
+def test_bench_fig2_2(benchmark):
+    result = run_once(benchmark, fig2_2.run, 0, 30.0, 20.0)
+    print("\n[Figure 2-2] paper: stationary jerk never exceeds 3; moving "
+          "jerk frequently exceeds 3; detection < 100 ms")
+    print(f"  measured: max still jerk {result['max_jerk_stationary']:.2f}, "
+          f"P(jerk>3|moving) {result['fraction_moving_jerk_above_3']:.2f}, "
+          f"latency {result['detection_latency_ms']:.0f} ms, "
+          f"hint accuracy {result['hint_accuracy']:.3f}")
+    assert result["max_jerk_stationary"] < 3.0
+    assert result["detection_latency_ms"] < 100.0

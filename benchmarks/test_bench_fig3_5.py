@@ -1,0 +1,18 @@
+"""Figure 3-5: mixed-mobility rate adaptation (the headline result)."""
+
+from conftest import run_once
+
+from repro.experiments import fig3_5
+
+
+def test_bench_fig3_5(benchmark):
+    result = run_once(benchmark, fig3_5.run_comparison, "mixed",
+                      ("office", "hallway", "outdoor"), 6)
+    print("\n[Figure 3-5] paper: hint-aware beats SampleRate by 23-52%, "
+          "RRAA by 17-39%, RBAR by up to 47% (mixed, TCP)")
+    for env, data in result["envs"].items():
+        norm = data["normalised"]
+        print(f"  {env:8s} " + "  ".join(
+            f"{k}={v:.2f}" for k, v in norm.items()))
+        assert norm["HintAware"] >= norm["SampleRate"]
+        assert norm["HintAware"] >= norm["RBAR"]

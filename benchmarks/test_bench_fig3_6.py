@@ -1,0 +1,18 @@
+"""Figure 3-6: mobile-only comparison."""
+
+from conftest import run_once
+
+from repro.experiments import fig3_5
+
+
+def test_bench_fig3_6(benchmark):
+    result = run_once(benchmark, fig3_5.run_comparison, "mobile",
+                      ("office", "hallway", "outdoor"), 6, 20.0, True,
+                      "RapidSample")
+    print("\n[Figure 3-6] paper: RapidSample best while mobile (up to 75% "
+          "over SampleRate, up to 25% over others)")
+    for env, data in result["envs"].items():
+        norm = data["normalised"]
+        print(f"  {env:8s} " + "  ".join(
+            f"{k}={v:.2f}" for k, v in norm.items()))
+        assert all(v <= 1.02 for k, v in norm.items() if k != "RapidSample")

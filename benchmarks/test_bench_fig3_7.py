@@ -1,0 +1,21 @@
+"""Figure 3-7: static-only comparison."""
+
+from conftest import run_once
+
+from repro.experiments import fig3_5
+
+
+def test_bench_fig3_7(benchmark):
+    result = run_once(benchmark, fig3_5.run_comparison, "static",
+                      ("office", "hallway", "outdoor"), 6, 20.0, True,
+                      "RapidSample")
+    print("\n[Figure 3-7] paper: RapidSample worst while static "
+          "(12-28% below SampleRate)")
+    for env, data in result["envs"].items():
+        norm = data["normalised"]
+        print(f"  {env:8s} " + "  ".join(
+            f"{k}={v:.2f}" for k, v in norm.items()))
+    # SampleRate ahead of RapidSample in aggregate across environments.
+    mean_sr = sum(d["normalised"]["SampleRate"]
+                  for d in result["envs"].values()) / len(result["envs"])
+    assert mean_sr > 1.0

@@ -1,0 +1,15 @@
+"""Figure 4-1: delivery-ratio fluctuation under movement."""
+
+from conftest import run_once
+
+from repro.experiments import fig4_x
+
+
+def test_bench_fig4_1(benchmark):
+    result = run_once(benchmark, fig4_x.run_fig4_1, 0)
+    print("\n[Figure 4-1] paper: motion makes second-to-second delivery "
+          "jumps exceed 20% often; static stays flat")
+    print(f"  measured: P(jump>20%|moving)={result['jumps_moving_over_20pct']:.2f}, "
+          f"P(jump>20%|static)={result['jumps_static_over_20pct']:.2f}")
+    assert (result["jumps_moving_over_20pct"]
+            > result["jumps_static_over_20pct"])

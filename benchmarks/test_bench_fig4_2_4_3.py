@@ -1,0 +1,20 @@
+"""Figures 4-2/4-3: estimation error vs probing rate + the rate-gap
+headline (also covers the probing-savings claim)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4_x
+
+
+def test_bench_fig4_2_4_3(benchmark):
+    result = run_once(benchmark, fig4_x.run_fig4_2_4_3, 8, 150.0)
+    print("\n[Figures 4-2/4-3] paper: static ~11% error even at 0.1 "
+          "probes/s; mobile >35% at 0.5/s, ~10% at 5/s; ~20-25x rate gap")
+    print("  measured static: " + "  ".join(
+        f"{p.probe_rate_hz:g}/s={p.mean_error:.3f}" for p in result["static"]))
+    print("  measured mobile: " + "  ".join(
+        f"{p.probe_rate_hz:g}/s={p.mean_error:.3f}" for p in result["mobile"]))
+    static_err = [p.mean_error for p in result["static"]]
+    mobile_err = [p.mean_error for p in result["mobile"]]
+    assert all(m > 2.0 * s for m, s in zip(mobile_err, static_err))
+    assert mobile_err[-1] < mobile_err[2]  # error falls with probing rate

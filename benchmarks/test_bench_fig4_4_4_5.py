@@ -1,0 +1,17 @@
+"""Figures 4-4/4-5: tracking quality by probing rate, static vs mobile."""
+
+from conftest import run_once
+
+from repro.experiments import fig4_x
+
+
+def test_bench_fig4_4_4_5(benchmark):
+    result = run_once(benchmark, fig4_x.run_fig4_4_4_5, 0)
+    print("\n[Figures 4-4/4-5] paper: static tracks at all rates; mobile "
+          "only at high probing rates")
+    for mode in ("static", "mobile"):
+        devs = result[mode]["mean_abs_dev"]
+        print(f"  {mode}: " + "  ".join(
+            f"{r:g}/s={d:.3f}" for r, d in devs.items()))
+    assert result["mobile"]["mean_abs_dev"][1.0] > \
+        result["static"]["mean_abs_dev"][1.0]

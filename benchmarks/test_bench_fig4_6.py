@@ -1,0 +1,16 @@
+"""Figure 4-6: the hint-aware adaptive prober."""
+
+from conftest import run_once
+
+from repro.experiments import fig4_x
+
+
+def test_bench_fig4_6(benchmark):
+    result = run_once(benchmark, fig4_x.run_fig4_6, 0)
+    print("\n[Figure 4-6] paper: adaptive (1<->10/s) tracks like 10/s "
+          "while probing near 1/s when static")
+    print(f"  measured: adaptive err {result['adaptive_error']:.3f} @ "
+          f"{result['adaptive_probes_per_s']:.1f}/s; 1/s err "
+          f"{result['fixed_error']:.3f}; 10/s err {result['fast_error']:.3f} "
+          f"@ {result['fast_probes_per_s']:.1f}/s")
+    assert result["adaptive_probes_per_s"] < 0.6 * result["fast_probes_per_s"]

@@ -1,0 +1,16 @@
+"""Figure 5-1: the disassociation stall and its hint fix."""
+
+from conftest import run_once
+
+from repro.experiments import fig5_1
+
+
+def test_bench_fig5_1(benchmark):
+    result = run_once(benchmark, fig5_1.run, 0)
+    print("\n[Figure 5-1] paper: static client stalls ~10 s after the "
+          "other client departs; hint-aware AP avoids it")
+    print(f"  measured: baseline stall {result['baseline_stall_s']:.0f} s "
+          f"(prune at {result['baseline_pruned_at_s']:.0f} s); hint-aware "
+          f"stall {result['aware_stall_s']:.0f} s")
+    assert 7.0 <= result["baseline_stall_s"] <= 13.0
+    assert result["aware_stall_s"] <= 1.0

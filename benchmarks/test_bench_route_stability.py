@@ -1,0 +1,16 @@
+"""Section 5.1 headline: CTE route stability factor."""
+
+from conftest import run_once
+
+from repro.experiments import route_stability
+
+
+def test_bench_route_stability(benchmark):
+    result = run_once(benchmark, route_stability.run, 4, 150, 250, 25)
+    print("\n[Route stability] paper: hint-aware routes 4-5x more stable "
+          "than hint-free")
+    print(f"  measured: CTE median {result['median_cte_lifetime_s']:.1f}s vs "
+          f"min-hop {result['median_minhop_lifetime_s']:.1f}s "
+          f"(factor {result['stability_factor']:.1f}x, "
+          f"{result['n_routes']} routes)")
+    assert result["stability_factor"] > 1.5

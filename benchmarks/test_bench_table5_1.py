@@ -1,0 +1,16 @@
+"""Table 5.1: median link duration by heading difference."""
+
+from conftest import run_once
+
+from repro.experiments import table5_1
+
+
+def test_bench_table5_1(benchmark):
+    result = run_once(benchmark, table5_1.run, 4, 100, 250)
+    medians = result["medians_s"]
+    print("\n[Table 5.1] paper: 66 / 32 / 15 / 9 s by bucket, 16 s all "
+          "links (4-5x factor, halving per 10 degrees)")
+    print("  measured: " + "  ".join(f"{k}={v:.0f}s" for k, v in medians.items()))
+    print(f"  similar-heading factor: {result['similar_heading_factor']:.1f}x")
+    assert medians["[0,10)"] > medians["[10,20)"] >= medians["[30,180)"]
+    assert result["similar_heading_factor"] > 2.5

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Hint-aware access-point policies (Section 5.2).
+
+Reproduces the Figure 5-1 disassociation stall and its fix, then the
+mobile-favouring scheduler and the learned association policy.
+"""
+
+from repro.ap import DisassociationConfig, simulate_disassociation
+from repro.experiments.extras import run_association, run_scheduling
+
+
+def main() -> None:
+    print("Figure 5-1: a client walks away mid-transfer at t=35 s")
+    for label, aware in (("legacy AP", False), ("hint-aware AP", True)):
+        result = simulate_disassociation(
+            config=DisassociationConfig(hint_aware=aware))
+        series = result.series("client1")
+        stall = result.stall_duration_s("client1")
+        print(f"  {label:14s} static client: "
+              f"{series[:30].mean():4.1f} Mb/s before, "
+              f"{series[36:46].mean():4.1f} Mb/s during the episode, "
+              f"stall {stall:.0f} s")
+
+    print("\nAdaptive scheduling (static batch + transient mobile client):")
+    sched = run_scheduling()
+    for policy, row in sched.items():
+        print(f"  {policy:12s} aggregate {row['aggregate']:6d} packets "
+              f"(mobile got {row['mobile']})")
+
+    print("\nAdaptive association (learned lifetime scores vs strongest signal):")
+    assoc = run_association()
+    print(f"  mean association lifetime: baseline "
+          f"{assoc['baseline_mean_lifetime_s']:.1f} s -> hint-aware "
+          f"{assoc['hint_aware_mean_lifetime_s']:.1f} s "
+          f"({assoc['improvement']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Hint-aware topology maintenance (Chapter 4) on a weak mesh link.
+
+A mesh node estimates its link delivery probability from probes.  The
+neighbour alternates between parked and moving; the adaptive prober
+follows the movement hint (1 probe/s still, 10 probes/s moving, 1 s
+hold), matching the tracking quality of always-fast probing at a
+fraction of the bandwidth.
+"""
+
+from repro.core import HintAwareNode
+from repro.experiments.fig4_x import _calibrated_weak_trace, _combined_script
+from repro.topology import AdaptiveProber, FixedRateProber, run_probing
+
+
+def main() -> None:
+    script = _combined_script(120.0)
+    trace = _calibrated_weak_trace(script, seed=3)
+    hints = HintAwareNode(script, seed=3).movement_hint_series()
+
+    probers = {
+        "fixed 1/s (default)": FixedRateProber(1.0),
+        "fixed 10/s (always fast)": FixedRateProber(10.0),
+        "hint-aware adaptive": AdaptiveProber(1.0, 10.0, hold_s=1.0),
+    }
+    print("prober                      probes/s   mean |error|")
+    for name, prober in probers.items():
+        run = run_probing(trace, prober, hints)
+        print(f"  {name:26s} {run.probes_per_s:7.1f}   {run.mean_abs_error:.3f}")
+
+    print("\nThe adaptive prober tracks like the fast prober while "
+          "spending bandwidth like the slow one whenever the device "
+          "is parked.")
+
+
+if __name__ == "__main__":
+    main()

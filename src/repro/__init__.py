@@ -1,0 +1,43 @@
+"""repro: a full reproduction of "Improving Wireless Network Performance
+Using Sensor Hints" (Ravindranath, Newport, Balakrishnan, Madden;
+NSDI 2011 / MIT MS thesis 2010).
+
+Subpackages
+-----------
+core
+    The paper's contribution: hint types, the jerk movement detector,
+    heading/speed hint extraction, the Hint Protocol and the hint bus.
+sensors
+    Synthetic accelerometer/GPS/compass/gyro/microphone driven by
+    shared motion scripts (the paper's hardware substitution).
+channel
+    802.11a rates, SNR/PER models, Jakes fading, environments, the
+    per-5 ms-slot trace format and its generator (testbed substitution).
+mac
+    802.11a timing, traffic models (UDP/simplified TCP) and the
+    trace-driven link simulator (modified-ns-3 substitution).
+rate
+    RapidSample + hint-aware switching, and the SampleRate / RRAA /
+    RBAR / CHARM baselines (Chapter 3).
+topology
+    Probing, delivery-probability estimation and the hint-aware
+    topology maintenance protocol (Chapter 4).
+vehicular
+    Road networks, vehicle mobility, link duration and CTE route
+    selection (Section 5.1).
+ap
+    Access-point policies: association, scheduling, disassociation
+    (Section 5.2).
+power, phy
+    Movement-based power saving (5.4) and outdoor OFDM adaptation (5.3).
+analysis
+    Loss-lag correlation (Figure 3-1) and statistics helpers.
+experiments
+    One driver per paper table/figure; see DESIGN.md for the index.
+"""
+
+__version__ = "1.0.0"
+
+from . import core, sensors  # noqa: F401  (lightweight, commonly used)
+
+__all__ = ["core", "sensors", "__version__"]

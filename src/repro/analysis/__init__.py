@@ -1,0 +1,17 @@
+"""Analysis machinery: loss-lag correlation (Figure 3-1) and statistics."""
+
+from .loss_correlation import (
+    LagCorrelation,
+    coherence_time_from_losses,
+    conditional_loss_by_lag,
+)
+from .stats import bootstrap_ci, geometric_mean, median
+
+__all__ = [
+    "LagCorrelation",
+    "conditional_loss_by_lag",
+    "coherence_time_from_losses",
+    "bootstrap_ci",
+    "geometric_mean",
+    "median",
+]

@@ -1,0 +1,99 @@
+"""Loss-lag correlation analysis (Figure 3-1) and coherence estimation.
+
+Given a boolean loss series of back-to-back packets at one bit rate,
+compute ``P(loss at i+k | loss at i)`` for a sweep of lags ``k`` plus
+the unconditional loss probability.  The paper uses this to show that a
+mobile channel's losses are strongly correlated at small lags (the
+conditional probability is far above the unconditional one for
+``k < 10`` packets at ~5000 packets/s) and to read off a channel
+coherence time of 8-10 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LagCorrelation", "conditional_loss_by_lag", "coherence_time_from_losses"]
+
+
+@dataclass(frozen=True)
+class LagCorrelation:
+    """Figure 3-1 data for one loss series."""
+
+    lags: np.ndarray
+    conditional_loss: np.ndarray
+    unconditional_loss: float
+    packets_per_s: float
+
+    def lag_to_ms(self, lag: int) -> float:
+        return lag / self.packets_per_s * 1000.0
+
+    def elevated_lags(self, factor: float = 1.5) -> np.ndarray:
+        """Lags whose conditional loss exceeds factor x unconditional."""
+        if self.unconditional_loss <= 0:
+            return np.array([], dtype=int)
+        mask = self.conditional_loss > factor * self.unconditional_loss
+        return self.lags[mask]
+
+
+def conditional_loss_by_lag(
+    losses: np.ndarray,
+    lags: np.ndarray | list[int] | None = None,
+    packets_per_s: float = 5000.0,
+) -> LagCorrelation:
+    """Compute P(loss_{i+k} | loss_i) for each lag k.
+
+    ``losses`` is boolean, True = lost.  Lags default to a log-ish sweep
+    1..100 like the paper's x axis.
+    """
+    losses = np.asarray(losses, dtype=bool)
+    if losses.ndim != 1 or len(losses) < 10:
+        raise ValueError("need a 1-D loss series of at least 10 packets")
+    if lags is None:
+        lags = np.unique(
+            np.round(np.logspace(0, 2, 25)).astype(int)
+        )
+    lags = np.asarray(sorted(set(int(l) for l in lags if l >= 1)))
+    if len(lags) == 0:
+        raise ValueError("need at least one positive lag")
+    if lags.max() >= len(losses):
+        raise ValueError("largest lag exceeds the series length")
+
+    unconditional = float(losses.mean())
+    conditional = np.empty(len(lags))
+    for i, k in enumerate(lags):
+        base = losses[:-k]
+        ahead = losses[k:]
+        n_lost = int(base.sum())
+        conditional[i] = (
+            float((ahead & base).sum() / n_lost) if n_lost > 0 else np.nan
+        )
+    return LagCorrelation(
+        lags=lags,
+        conditional_loss=conditional,
+        unconditional_loss=unconditional,
+        packets_per_s=packets_per_s,
+    )
+
+
+def coherence_time_from_losses(
+    correlation: LagCorrelation, threshold_factor: float = 1.2
+) -> float:
+    """Coherence-time estimate: when conditional decays to ~unconditional.
+
+    The paper reads "the probability does not return to the base-line
+    loss rate until approximately k = 50 packets" and, combined with the
+    burst structure at k < 10, concludes an 8-10 ms coherence time.  We
+    use the first lag at which the conditional loss falls below
+    ``threshold_factor`` times the unconditional value, converted to
+    seconds.  Returns 0 for an uncorrelated (static-like) series.
+    """
+    if correlation.unconditional_loss <= 0:
+        return 0.0
+    limit = threshold_factor * correlation.unconditional_loss
+    for lag, cond in zip(correlation.lags, correlation.conditional_loss):
+        if not np.isnan(cond) and cond <= limit:
+            return lag / correlation.packets_per_s
+    return correlation.lags[-1] / correlation.packets_per_s

@@ -1,0 +1,44 @@
+"""Statistics helpers shared by experiments and tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bootstrap_ci", "geometric_mean", "median"]
+
+
+def bootstrap_ci(
+    values, n_resamples: int = 2000, confidence: float = 0.95,
+    statistic=np.mean, seed: int = 0,
+):
+    """Bootstrap confidence interval for an arbitrary statistic.
+
+    Returns ``(low, high)``.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if len(data) == 0:
+        raise ValueError("need at least one value")
+    rng = np.random.default_rng(seed)
+    stats = np.array([
+        statistic(data[rng.integers(0, len(data), len(data))])
+        for _ in range(n_resamples)
+    ])
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.quantile(stats, alpha)), float(np.quantile(stats, 1 - alpha)))
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (for averaging throughput ratios across traces)."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if len(data) == 0:
+        raise ValueError("need at least one value")
+    if (data <= 0).any():
+        raise ValueError("geometric mean needs positive values")
+    return float(np.exp(np.log(data).mean()))
+
+
+def median(values) -> float:
+    data = np.asarray(list(values), dtype=np.float64)
+    if len(data) == 0:
+        raise ValueError("need at least one value")
+    return float(np.median(data))

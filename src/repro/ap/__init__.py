@@ -1,0 +1,37 @@
+"""Access-point policies (Section 5.2): adaptive association,
+mobile-favouring scheduling, and hint-aware disassociation."""
+
+from .association import (
+    ApInfo,
+    AssociationComparison,
+    AssociationEvent,
+    LifetimeScorer,
+    compare_association_policies,
+    simulate_walks,
+    strongest_signal_policy,
+)
+from .scheduling import SCHEDULERS, SchedulingOutcome, SchedulingScenario, run_scheduler
+from .disassociation import (
+    ApClient,
+    ApSimResult,
+    DisassociationConfig,
+    simulate_disassociation,
+)
+
+__all__ = [
+    "ApInfo",
+    "AssociationEvent",
+    "LifetimeScorer",
+    "strongest_signal_policy",
+    "simulate_walks",
+    "AssociationComparison",
+    "compare_association_policies",
+    "SchedulingScenario",
+    "SchedulingOutcome",
+    "run_scheduler",
+    "SCHEDULERS",
+    "ApClient",
+    "DisassociationConfig",
+    "ApSimResult",
+    "simulate_disassociation",
+]

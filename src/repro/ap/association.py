@@ -1,0 +1,229 @@
+"""Adaptive association (Section 5.2.1).
+
+Baseline: "most clients today associate with the AP that has the
+strongest signal".  The paper's proposal: clients include mobility
+hints (movement, position, heading) in probe requests; APs (or a
+database) score each candidate by *predicted association lifetime*,
+learned from past associations; the client picks the highest score.
+
+This module implements both policies over a simple walk-through-a-
+building scenario: APs along a corridor, a client walking with a
+heading hint.  The learned scorer is a table over (heading-relative
+bearing bucket, distance bucket) -> mean observed association lifetime,
+trained online exactly as the paper describes ("APs initially score all
+augmented probe requests the same, but learn, over time, the hint
+values correlated with the longest associations").
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.hints import heading_difference_deg
+
+__all__ = [
+    "ApInfo",
+    "AssociationEvent",
+    "strongest_signal_policy",
+    "LifetimeScorer",
+    "simulate_walks",
+    "AssociationComparison",
+    "compare_association_policies",
+]
+
+#: Association is possible within this range (tuned to corridor scale).
+_ASSOC_RANGE_M = 55.0
+
+
+@dataclass(frozen=True)
+class ApInfo:
+    """A candidate access point."""
+
+    bssid: str
+    x_m: float
+    y_m: float
+
+    def distance_to(self, x: float, y: float) -> float:
+        return math.hypot(self.x_m - x, self.y_m - y)
+
+    def rssi_dbm(self, x: float, y: float) -> float:
+        """Simple log-distance RSSI (no fading needed for scoring)."""
+        d = max(1.0, self.distance_to(x, y))
+        return -40.0 - 10.0 * 2.8 * math.log10(d)
+
+    def bearing_from(self, x: float, y: float) -> float:
+        """Bearing from the client to this AP, degrees from north."""
+        return math.degrees(math.atan2(self.x_m - x, self.y_m - y)) % 360.0
+
+
+@dataclass(frozen=True)
+class AssociationEvent:
+    """One completed association, for training and evaluation."""
+
+    bssid: str
+    lifetime_s: float
+    relative_bearing_deg: float
+    distance_m: float
+    moving: bool
+
+
+def strongest_signal_policy(
+    aps: list[ApInfo], x: float, y: float, heading_deg: float, moving: bool
+) -> ApInfo:
+    """The default policy: pick the loudest AP."""
+    if not aps:
+        raise ValueError("no candidate APs")
+    return max(aps, key=lambda ap: ap.rssi_dbm(x, y))
+
+
+class LifetimeScorer:
+    """Learned (bearing, distance[, moving]) -> expected lifetime table.
+
+    Buckets: relative bearing in 45-degree bins (0 = AP dead ahead),
+    distance in 10 m bins, movement as a boolean.  Unknown buckets score
+    the global mean so cold-start behaves like the baseline tie-broken
+    by signal strength.
+    """
+
+    def __init__(self) -> None:
+        self._sums: dict[tuple, float] = defaultdict(float)
+        self._counts: dict[tuple, int] = defaultdict(int)
+        self._global_sum = 0.0
+        self._global_count = 0
+
+    @staticmethod
+    def _bucket(relative_bearing_deg: float, distance_m: float, moving: bool) -> tuple:
+        bearing_bin = int(min(relative_bearing_deg, 179.9) // 45)
+        distance_bin = int(min(distance_m, 99.9) // 10)
+        return (bearing_bin, distance_bin, moving)
+
+    def train(self, event: AssociationEvent) -> None:
+        key = self._bucket(event.relative_bearing_deg, event.distance_m, event.moving)
+        self._sums[key] += event.lifetime_s
+        self._counts[key] += 1
+        self._global_sum += event.lifetime_s
+        self._global_count += 1
+
+    @property
+    def n_trained(self) -> int:
+        return self._global_count
+
+    def score(self, relative_bearing_deg: float, distance_m: float, moving: bool) -> float:
+        key = self._bucket(relative_bearing_deg, distance_m, moving)
+        if self._counts[key] > 0:
+            return self._sums[key] / self._counts[key]
+        if self._global_count > 0:
+            return self._global_sum / self._global_count
+        return 0.0
+
+    def policy(self, aps: list[ApInfo], x: float, y: float,
+               heading_deg: float, moving: bool) -> ApInfo:
+        """Pick the AP with the best predicted lifetime (RSSI tie-break)."""
+        if not aps:
+            raise ValueError("no candidate APs")
+
+        def key(ap: ApInfo):
+            rel = heading_difference_deg(heading_deg, ap.bearing_from(x, y))
+            return (self.score(rel, ap.distance_to(x, y), moving),
+                    ap.rssi_dbm(x, y))
+
+        return max(aps, key=key)
+
+
+def _walk_lifetime(ap: ApInfo, x: float, y: float, heading_deg: float,
+                   speed_mps: float, walk_remaining_s: float) -> float:
+    """Ground truth: how long until the walker exits the AP's range."""
+    theta = math.radians(heading_deg)
+    vx, vy = speed_mps * math.sin(theta), speed_mps * math.cos(theta)
+    t = 0.0
+    while t < walk_remaining_s:
+        if ap.distance_to(x + vx * t, y + vy * t) > _ASSOC_RANGE_M:
+            break
+        t += 0.5
+    return t
+
+
+def simulate_walks(
+    aps: list[ApInfo],
+    policy,
+    n_walks: int = 200,
+    corridor_length_m: float = 200.0,
+    speed_mps: float = 1.4,
+    seed: int = 0,
+    scorer_to_train: LifetimeScorer | None = None,
+) -> list[AssociationEvent]:
+    """Walk clients down a corridor; record association lifetimes.
+
+    Each walk starts at a random corridor position heading either way;
+    the policy picks an AP; the association lasts until the client
+    leaves that AP's range (or the walk ends).
+    """
+    rng = np.random.default_rng(seed)
+    events: list[AssociationEvent] = []
+    for _ in range(n_walks):
+        x = float(rng.uniform(0.0, corridor_length_m))
+        y = float(rng.uniform(-3.0, 3.0))
+        heading = 90.0 if rng.random() < 0.5 else 270.0  # east/west corridor
+        walk_s = float(rng.uniform(30.0, 120.0))
+        in_range = [ap for ap in aps if ap.distance_to(x, y) <= _ASSOC_RANGE_M]
+        if not in_range:
+            continue
+        chosen = policy(in_range, x, y, heading, True)
+        lifetime = _walk_lifetime(chosen, x, y, heading, speed_mps, walk_s)
+        event = AssociationEvent(
+            bssid=chosen.bssid,
+            lifetime_s=lifetime,
+            relative_bearing_deg=heading_difference_deg(
+                heading, chosen.bearing_from(x, y)),
+            distance_m=chosen.distance_to(x, y),
+            moving=True,
+        )
+        events.append(event)
+        if scorer_to_train is not None:
+            scorer_to_train.train(event)
+    return events
+
+
+@dataclass(frozen=True)
+class AssociationComparison:
+    """Mean association lifetimes under both policies."""
+
+    baseline_mean_s: float
+    hint_aware_mean_s: float
+
+    @property
+    def improvement(self) -> float:
+        if self.baseline_mean_s <= 0:
+            return float("inf")
+        return self.hint_aware_mean_s / self.baseline_mean_s
+
+
+def compare_association_policies(
+    n_aps: int = 5,
+    corridor_length_m: float = 200.0,
+    n_training_walks: int = 400,
+    n_eval_walks: int = 200,
+    seed: int = 0,
+) -> AssociationComparison:
+    """Train the scorer, then evaluate both policies on fresh walks."""
+    aps = [
+        ApInfo(bssid=f"ap{i}", x_m=(i + 0.5) * corridor_length_m / n_aps, y_m=8.0)
+        for i in range(n_aps)
+    ]
+    scorer = LifetimeScorer()
+    # Training phase: baseline behaviour while the table fills (paper:
+    # "initially score all augmented probe requests the same").
+    simulate_walks(aps, strongest_signal_policy, n_training_walks,
+                   corridor_length_m, seed=seed, scorer_to_train=scorer)
+    baseline = simulate_walks(aps, strongest_signal_policy, n_eval_walks,
+                              corridor_length_m, seed=seed + 1)
+    aware = simulate_walks(aps, scorer.policy, n_eval_walks,
+                           corridor_length_m, seed=seed + 1)
+    return AssociationComparison(
+        baseline_mean_s=float(np.mean([e.lifetime_s for e in baseline])),
+        hint_aware_mean_s=float(np.mean([e.lifetime_s for e in aware])),
+    )

@@ -1,0 +1,86 @@
+"""Gilbert-Elliott two-state burst-loss model.
+
+An independent, analytically tractable loss substrate used to validate
+the analysis machinery (the Figure 3-1 lag-correlation code) against
+closed-form answers, and available as an alternative channel for tests.
+
+States: GOOD and BAD, a discrete-time Markov chain per packet slot.
+Loss probability is ``loss_good`` in GOOD (usually ~0) and ``loss_bad``
+in BAD (usually ~1).  The stationary loss rate and the conditional loss
+probability at any lag have closed forms, which the tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GilbertElliott"]
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Parameters: p = P(G->B), r = P(B->G), per-state loss probabilities."""
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.p_good_to_bad + self.p_bad_to_good <= 0.0:
+            raise ValueError("the chain must be able to move")
+
+    @property
+    def stationary_bad(self) -> float:
+        """Long-run fraction of time in the BAD state."""
+        return self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        """Unconditional packet loss probability."""
+        pi_b = self.stationary_bad
+        return pi_b * self.loss_bad + (1.0 - pi_b) * self.loss_good
+
+    def conditional_loss_at_lag(self, lag: int) -> float:
+        """P(packet i+lag lost | packet i lost), closed form.
+
+        Uses the spectral form of the 2-state chain: the second
+        eigenvalue is ``lambda = 1 - p - r`` and state probabilities
+        relax toward stationarity geometrically.
+        """
+        if lag < 0:
+            raise ValueError("lag must be non-negative")
+        p, r = self.p_good_to_bad, self.p_bad_to_good
+        pi_b = self.stationary_bad
+        loss = self.stationary_loss_rate
+        if loss == 0.0:
+            return 0.0
+        # P(state B | current packet lost), by Bayes.
+        pb_given_loss = pi_b * self.loss_bad / loss
+        lam = (1.0 - p - r) ** lag
+        # P(in B after `lag` steps | started in B or G).
+        pb_from_b = pi_b + (1.0 - pi_b) * lam
+        pb_from_g = pi_b - pi_b * lam
+        pb_lag = pb_given_loss * pb_from_b + (1.0 - pb_given_loss) * pb_from_g
+        return pb_lag * self.loss_bad + (1.0 - pb_lag) * self.loss_good
+
+    def sample(self, n_packets: int, seed: int = 0) -> np.ndarray:
+        """Boolean loss series (True = lost) of length ``n_packets``."""
+        if n_packets < 0:
+            raise ValueError("n_packets must be non-negative")
+        rng = np.random.default_rng(seed)
+        losses = np.empty(n_packets, dtype=bool)
+        in_bad = rng.random() < self.stationary_bad
+        for i in range(n_packets):
+            loss_p = self.loss_bad if in_bad else self.loss_good
+            losses[i] = rng.random() < loss_p
+            flip = self.p_bad_to_good if in_bad else self.p_good_to_bad
+            if rng.random() < flip:
+                in_bad = not in_bad
+        return losses

@@ -1,0 +1,59 @@
+"""The 802.11a OFDM bit-rate table.
+
+The paper's traces cycle through the eight 802.11a rates 6, 9, 12, 18,
+24, 36, 48, 54 Mbit/s in round-robin order (Section 3.3).  Every module
+indexes rates 0..7 into this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BitRate", "RATES_MBPS", "RATE_TABLE", "N_RATES", "rate_index"]
+
+
+@dataclass(frozen=True)
+class BitRate:
+    """One 802.11a OFDM mode."""
+
+    index: int
+    mbps: float
+    modulation: str
+    coding_rate: str
+    #: Data bits carried per 4 us OFDM symbol.
+    bits_per_symbol: int
+    #: Minimum SNR (dB) for ~90% delivery of a 1000-byte frame; used by
+    #: the logistic PER model and as the trained SNR threshold for
+    #: SNR-based rate adaptation (RBAR/CHARM).
+    snr_threshold_db: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mbps:g} Mb/s ({self.modulation} {self.coding_rate})"
+
+
+#: The 802.11a basic rate set, ascending, as used throughout the paper.
+RATE_TABLE: tuple[BitRate, ...] = (
+    BitRate(0, 6.0, "BPSK", "1/2", 24, 6.0),
+    BitRate(1, 9.0, "BPSK", "3/4", 36, 7.8),
+    BitRate(2, 12.0, "QPSK", "1/2", 48, 9.0),
+    BitRate(3, 18.0, "QPSK", "3/4", 72, 10.8),
+    BitRate(4, 24.0, "16-QAM", "1/2", 96, 14.0),
+    BitRate(5, 36.0, "16-QAM", "3/4", 144, 17.0),
+    BitRate(6, 48.0, "64-QAM", "2/3", 192, 21.0),
+    BitRate(7, 54.0, "64-QAM", "3/4", 216, 22.5),
+)
+
+RATES_MBPS: tuple[float, ...] = tuple(r.mbps for r in RATE_TABLE)
+N_RATES: int = len(RATE_TABLE)
+
+
+def rate_index(mbps: float) -> int:
+    """Rate table index for a nominal Mb/s value.
+
+    >>> rate_index(54)
+    7
+    """
+    for rate in RATE_TABLE:
+        if abs(rate.mbps - mbps) < 1e-9:
+            return rate.index
+    raise ValueError(f"{mbps} Mb/s is not an 802.11a rate")

@@ -1,0 +1,181 @@
+"""The channel-trace format the paper's simulator replays (Section 3.3).
+
+The paper modified ns-3 "to read in experimental traces describing, for
+each 5 ms timeslot, the fate of each packet sent at each bit rate during
+that time slot".  :class:`ChannelTrace` is exactly that object, plus the
+side information our substitution makes available: per-slot mean SNR
+(for the SNR-based protocols, which the paper granted up-to-date SNR
+knowledge) and the ground-truth movement flag (for validating the
+sensor-derived hint).
+
+Traces are pure data -- numpy arrays with save/load -- so any rate
+controller can be replayed over any trace reproducibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .rates import N_RATES
+
+__all__ = ["SLOT_S", "ChannelTrace", "concat_traces"]
+
+#: The paper's trace resolution: one fate per rate per 5 ms slot.
+SLOT_S = 0.005
+
+
+@dataclass(frozen=True)
+class ChannelTrace:
+    """A replayable link trace.
+
+    Attributes
+    ----------
+    fates:
+        Boolean ``(n_slots, N_RATES)`` array: would a 1000-byte packet
+        sent in this slot at this rate be received?
+    snr_db:
+        Per-slot mean receiver SNR (dB).
+    moving:
+        Ground-truth per-slot movement flag from the motion script.
+    environment:
+        Name of the generating environment (metadata).
+    seed:
+        Generator seed (metadata; 0 when unknown/loaded).
+    """
+
+    fates: np.ndarray
+    snr_db: np.ndarray
+    moving: np.ndarray
+    environment: str = "unknown"
+    seed: int = 0
+    slot_s: float = SLOT_S
+
+    def __post_init__(self) -> None:
+        fates = np.asarray(self.fates, dtype=bool)
+        snr = np.asarray(self.snr_db, dtype=np.float64)
+        moving = np.asarray(self.moving, dtype=bool)
+        if fates.ndim != 2 or fates.shape[1] != N_RATES:
+            raise ValueError(f"fates must be (n, {N_RATES}), got {fates.shape}")
+        if len(snr) != len(fates) or len(moving) != len(fates):
+            raise ValueError("snr_db and moving must align with fates")
+        object.__setattr__(self, "fates", fates)
+        object.__setattr__(self, "snr_db", snr)
+        object.__setattr__(self, "moving", moving)
+
+    # ------------------------------------------------------------------
+    # Shape and indexing
+    # ------------------------------------------------------------------
+    @property
+    def n_slots(self) -> int:
+        return len(self.fates)
+
+    @property
+    def duration_s(self) -> float:
+        return self.n_slots * self.slot_s
+
+    def slot_at(self, time_s: float) -> int:
+        """Slot index for a simulated time, clamped to the trace."""
+        return min(max(int(time_s / self.slot_s), 0), self.n_slots - 1)
+
+    def fate(self, time_s: float, rate_index: int) -> bool:
+        """Fate of a packet sent at ``time_s`` at rate ``rate_index``."""
+        return bool(self.fates[self.slot_at(time_s), rate_index])
+
+    def snr_at(self, time_s: float) -> float:
+        return float(self.snr_db[self.slot_at(time_s)])
+
+    def moving_at(self, time_s: float) -> bool:
+        return bool(self.moving[self.slot_at(time_s)])
+
+    # ------------------------------------------------------------------
+    # Views and statistics
+    # ------------------------------------------------------------------
+    def window(self, t0_s: float, t1_s: float) -> "ChannelTrace":
+        """Sub-trace covering [t0, t1)."""
+        i0 = max(0, int(t0_s / self.slot_s))
+        i1 = min(self.n_slots, int(np.ceil(t1_s / self.slot_s)))
+        if i1 <= i0:
+            raise ValueError("empty trace window")
+        return ChannelTrace(
+            fates=self.fates[i0:i1],
+            snr_db=self.snr_db[i0:i1],
+            moving=self.moving[i0:i1],
+            environment=self.environment,
+            seed=self.seed,
+            slot_s=self.slot_s,
+        )
+
+    def delivery_prob(self, rate_index: int,
+                      t0_s: float | None = None,
+                      t1_s: float | None = None) -> float:
+        """Fraction of slots in [t0, t1) where this rate succeeds."""
+        i0 = 0 if t0_s is None else max(0, int(t0_s / self.slot_s))
+        i1 = self.n_slots if t1_s is None else min(
+            self.n_slots, int(np.ceil(t1_s / self.slot_s)))
+        if i1 <= i0:
+            raise ValueError("empty interval")
+        return float(self.fates[i0:i1, rate_index].mean())
+
+    def delivery_series(self, rate_index: int, bucket_s: float = 1.0) -> np.ndarray:
+        """Per-bucket delivery ratio (Figure 4-1's 1 s buckets)."""
+        slots_per_bucket = max(1, int(round(bucket_s / self.slot_s)))
+        n_buckets = self.n_slots // slots_per_bucket
+        col = self.fates[: n_buckets * slots_per_bucket, rate_index]
+        return col.reshape(n_buckets, slots_per_bucket).mean(axis=1)
+
+    def moving_fraction(self) -> float:
+        return float(self.moving.mean())
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the trace as a compressed .npz archive."""
+        np.savez_compressed(
+            Path(path),
+            fates=self.fates,
+            snr_db=self.snr_db,
+            moving=self.moving,
+            environment=np.array(self.environment),
+            seed=np.array(self.seed),
+            slot_s=np.array(self.slot_s),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ChannelTrace":
+        with np.load(Path(path)) as data:
+            return cls(
+                fates=data["fates"],
+                snr_db=data["snr_db"],
+                moving=data["moving"],
+                environment=str(data["environment"]),
+                seed=int(data["seed"]),
+                slot_s=float(data["slot_s"]),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChannelTrace({self.environment}, {self.duration_s:.1f}s, "
+            f"{self.moving_fraction():.0%} mobile, "
+            f"mean SNR {self.snr_db.mean():.1f} dB)"
+        )
+
+
+def concat_traces(traces: list[ChannelTrace]) -> ChannelTrace:
+    """Concatenate traces end to end (e.g. static + mobile halves)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    slot = traces[0].slot_s
+    if any(abs(t.slot_s - slot) > 1e-12 for t in traces):
+        raise ValueError("traces must share a slot duration")
+    return ChannelTrace(
+        fates=np.vstack([t.fates for t in traces]),
+        snr_db=np.concatenate([t.snr_db for t in traces]),
+        moving=np.concatenate([t.moving for t in traces]),
+        environment=traces[0].environment,
+        seed=traces[0].seed,
+        slot_s=slot,
+    )

@@ -1,0 +1,69 @@
+"""The paper's primary contribution: hints, detectors, the hint protocol
+and the hint-aware architecture (Chapter 2)."""
+
+from .hints import (
+    EnvironmentActivityHint,
+    HeadingHint,
+    Hint,
+    HintType,
+    MovementHint,
+    PositionHint,
+    SpeedHint,
+    heading_difference_deg,
+)
+from .movement import (
+    AVG_WINDOW_REPORTS,
+    HOLD_WINDOW_REPORTS,
+    JERK_THRESHOLD,
+    MovementDetector,
+    hint_edges,
+    jerk_series,
+    movement_hint_series,
+)
+from .heading import HeadingEstimator, circular_mean_deg
+from .speed import GpsSpeedSource, SpeedEstimator, WifiLocalization
+from .hint_protocol import (
+    HINT_FRAME_MAGIC,
+    HintChannel,
+    decode_hint_field,
+    decode_hint_frame,
+    decode_movement_bit,
+    encode_hint_field,
+    encode_hint_frame,
+    encode_movement_bit,
+)
+from .architecture import HintAwareNode, HintBus, HintSeries
+
+__all__ = [
+    "Hint",
+    "HintType",
+    "MovementHint",
+    "HeadingHint",
+    "SpeedHint",
+    "PositionHint",
+    "EnvironmentActivityHint",
+    "heading_difference_deg",
+    "MovementDetector",
+    "movement_hint_series",
+    "jerk_series",
+    "hint_edges",
+    "JERK_THRESHOLD",
+    "HOLD_WINDOW_REPORTS",
+    "AVG_WINDOW_REPORTS",
+    "HeadingEstimator",
+    "circular_mean_deg",
+    "SpeedEstimator",
+    "GpsSpeedSource",
+    "WifiLocalization",
+    "HintChannel",
+    "encode_movement_bit",
+    "decode_movement_bit",
+    "encode_hint_field",
+    "decode_hint_field",
+    "encode_hint_frame",
+    "decode_hint_frame",
+    "HINT_FRAME_MAGIC",
+    "HintBus",
+    "HintAwareNode",
+    "HintSeries",
+]

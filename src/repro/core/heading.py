@@ -1,0 +1,104 @@
+"""Heading hint extraction (Section 2.2.2).
+
+Heading comes from three sources: the digital compass (absolute but noisy
+-- "extremely noisy in some indoor environments"), GPS (absolute, outdoor,
+only meaningful while moving), and the gyroscope (smooth relative heading
+that drifts).  The paper proposes "the gyroscope in conjunction with the
+compass to produce accurate headings"; :class:`HeadingEstimator` is that
+fusion, a standard complementary filter:
+
+    heading <- wrap(heading + gyro_rate * dt)          (propagate)
+    heading <- heading + alpha * wrap(compass - heading)  (correct)
+
+A small ``alpha`` trusts the gyro short-term (riding out magnetic spikes)
+while the compass pins down the long-term absolute reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .hints import HeadingHint, heading_difference_deg
+
+__all__ = ["HeadingEstimator", "circular_mean_deg"]
+
+
+def _wrap_signed(delta_deg: float) -> float:
+    """Wrap an angle difference into (-180, 180]."""
+    wrapped = (delta_deg + 180.0) % 360.0 - 180.0
+    return 180.0 if wrapped == -180.0 else wrapped
+
+
+class HeadingEstimator:
+    """Complementary-filter fusion of gyroscope and compass readings.
+
+    Parameters
+    ----------
+    alpha:
+        Compass correction gain per compass report (0 < alpha <= 1).
+        Lower values trust the gyro more.
+    initial_heading_deg:
+        Starting absolute heading; the first compass report overrides it
+        completely if no gyro data has arrived yet.
+    """
+
+    def __init__(self, alpha: float = 0.02, initial_heading_deg: float = 0.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self._alpha = alpha
+        self._heading = initial_heading_deg % 360.0
+        self._last_gyro_time: float | None = None
+        self._initialised = False
+
+    @property
+    def heading_deg(self) -> float:
+        return self._heading
+
+    def update_gyro(self, rate_dps: float, time_s: float) -> float:
+        """Propagate heading with one gyro angular-rate report."""
+        if self._last_gyro_time is not None and time_s > self._last_gyro_time:
+            dt = time_s - self._last_gyro_time
+            self._heading = (self._heading + rate_dps * dt) % 360.0
+        self._last_gyro_time = time_s
+        return self._heading
+
+    def update_compass(self, heading_deg: float, time_s: float) -> float:
+        """Correct heading with one compass report."""
+        if not self._initialised:
+            self._heading = heading_deg % 360.0
+            self._initialised = True
+            return self._heading
+        error = _wrap_signed(heading_deg - self._heading)
+        self._heading = (self._heading + self._alpha * error) % 360.0
+        return self._heading
+
+    def update_gps(self, heading_deg: float, time_s: float, weight: float = 0.3) -> float:
+        """Correct heading with a GPS course-over-ground fix (outdoors).
+
+        GPS heading while moving is far more trustworthy than an indoor
+        compass, so it gets a larger default gain.
+        """
+        if not self._initialised:
+            self._heading = heading_deg % 360.0
+            self._initialised = True
+            return self._heading
+        error = _wrap_signed(heading_deg - self._heading)
+        self._heading = (self._heading + weight * error) % 360.0
+        return self._heading
+
+    def hint(self, time_s: float) -> HeadingHint:
+        return HeadingHint(time_s=time_s, heading_deg=self._heading)
+
+    def error_to(self, true_heading_deg: float) -> float:
+        """Absolute estimation error in degrees, in [0, 180]."""
+        return heading_difference_deg(self._heading, true_heading_deg)
+
+
+def circular_mean_deg(headings_deg: list[float]) -> float:
+    """Circular mean of headings in degrees (for windowed smoothing)."""
+    if not headings_deg:
+        raise ValueError("need at least one heading")
+    s = sum(math.sin(math.radians(h)) for h in headings_deg)
+    c = sum(math.cos(math.radians(h)) for h in headings_deg)
+    return math.degrees(math.atan2(s, c)) % 360.0

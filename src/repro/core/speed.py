@@ -1,0 +1,125 @@
+"""Speed and position hints (Section 2.2.3).
+
+Outdoors, speed and position come straight from GPS.  Indoors, the paper
+approximates speed "by integrating the time-series of values reported by
+the accelerometer" (more approximate, but the indoor speed range is
+small) and position via WiFi localisation.  The paper does not evaluate
+these hints; we implement them because other subsystems (power saving,
+PHY adaptation, association scoring) consume them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hints import PositionHint, SpeedHint
+
+__all__ = ["SpeedEstimator", "GpsSpeedSource", "WifiLocalization"]
+
+
+class SpeedEstimator:
+    """Indoor speed estimate by leaky integration of accelerometer force.
+
+    The accelerometer's custom units include gravity and bias; a naive
+    double integral diverges in seconds.  Instead we high-pass the force
+    (subtract a slow-tracking baseline), integrate the residual magnitude
+    with a leak, and scale -- enough to distinguish "still / walking /
+    hurrying", which is all the indoor hints need.
+    """
+
+    def __init__(self, leak_per_s: float = 1.2, scale: float = 0.0009,
+                 report_period_s: float = 0.002) -> None:
+        if leak_per_s < 0:
+            raise ValueError("leak must be non-negative")
+        self._decay = float(np.exp(-leak_per_s * report_period_s))
+        self._scale = scale
+        self._dt = report_period_s
+        self._baseline = np.zeros(3)
+        self._baseline_gain = 0.005
+        self._velocity = 0.0
+        self._initialised = False
+
+    @property
+    def speed_mps(self) -> float:
+        return max(0.0, self._velocity)
+
+    def update(self, fx: float, fy: float, fz: float) -> float:
+        """Consume one accelerometer report; return current speed estimate."""
+        force = np.array([fx, fy, fz], dtype=np.float64)
+        if not self._initialised:
+            self._baseline = force.copy()
+            self._initialised = True
+            return 0.0
+        self._baseline += self._baseline_gain * (force - self._baseline)
+        residual = float(np.linalg.norm(force - self._baseline))
+        self._velocity = self._decay * self._velocity + self._scale * residual
+        return self.speed_mps
+
+    def hint(self, time_s: float) -> SpeedHint:
+        return SpeedHint(time_s=time_s, speed_mps=self.speed_mps)
+
+    def reset(self) -> None:
+        self._velocity = 0.0
+        self._initialised = False
+        self._baseline = np.zeros(3)
+
+
+class GpsSpeedSource:
+    """Speed/position hints straight from GPS readings (outdoors)."""
+
+    def __init__(self) -> None:
+        self._last_speed = 0.0
+        self._last_position: tuple[float, float] | None = None
+        self._last_time = 0.0
+
+    def update(self, reading) -> None:
+        """Consume a :class:`repro.sensors.gps.GpsReading`."""
+        if not reading.valid:
+            return
+        self._last_speed = reading.values[2]
+        self._last_position = (reading.values[0], reading.values[1])
+        self._last_time = reading.time_s
+
+    @property
+    def has_position(self) -> bool:
+        return self._last_position is not None
+
+    def speed_hint(self, time_s: float) -> SpeedHint:
+        return SpeedHint(time_s=time_s, speed_mps=self._last_speed)
+
+    def position_hint(self, time_s: float) -> PositionHint:
+        if self._last_position is None:
+            raise RuntimeError("no GPS fix yet")
+        x, y = self._last_position
+        return PositionHint(time_s=time_s, x_m=x, y_m=y)
+
+
+class WifiLocalization:
+    """Indoor positioning from AP RSSI fingerprints (weighted centroid).
+
+    A serviceable stand-in for the paper's "WiFi localization": given the
+    known positions of overheard APs and their RSSIs, estimate position
+    as the RSSI-weighted centroid.  Accuracy of metres-to-tens-of-metres,
+    like real systems; sufficient for a position *hint*.
+    """
+
+    def __init__(self, ap_positions: dict[str, tuple[float, float]]) -> None:
+        if not ap_positions:
+            raise ValueError("need at least one AP position")
+        self._ap_positions = dict(ap_positions)
+
+    def locate(self, rssi_dbm: dict[str, float]) -> tuple[float, float]:
+        """Estimate (x, y) from a {bssid: rssi} scan result."""
+        seen = {b: r for b, r in rssi_dbm.items() if b in self._ap_positions}
+        if not seen:
+            raise ValueError("no known APs in scan")
+        # Convert RSSI to positive weights: stronger signal, closer AP.
+        weights = {b: 10.0 ** (r / 20.0) for b, r in seen.items()}
+        total = sum(weights.values())
+        x = sum(self._ap_positions[b][0] * w for b, w in weights.items()) / total
+        y = sum(self._ap_positions[b][1] * w for b, w in weights.items()) / total
+        return (x, y)
+
+    def position_hint(self, time_s: float, rssi_dbm: dict[str, float]) -> PositionHint:
+        x, y = self.locate(rssi_dbm)
+        return PositionHint(time_s=time_s, x_m=x, y_m=y)

@@ -1,0 +1,127 @@
+"""Shared machinery for the per-figure experiment drivers.
+
+Every driver is a pure function of (seed, parameters) returning a plain
+dict of rows/series -- what the paper's corresponding figure or table
+displays -- plus a ``main()`` that prints it.  Heavy intermediates
+(traces, hint series) are memoised per process because several figures
+share the same trace sets.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..channel import ChannelTrace, Environment, environment_by_name, generate_trace
+from ..core.architecture import HintAwareNode, HintSeries
+from ..mac import SimConfig, TcpSource, UdpSource, run_link
+from ..rate import (
+    CHARM,
+    HintAwareRateController,
+    RBAR,
+    RRAA,
+    RapidSample,
+    SampleRate,
+)
+from ..sensors import (
+    MotionScript,
+    drive_by_script,
+    mixed_mobility_script,
+    pacing_script,
+    stationary_script,
+)
+
+__all__ = [
+    "RATE_PROTOCOLS",
+    "script_for_mode",
+    "cached_trace",
+    "cached_hints",
+    "protocol_throughput",
+    "print_table",
+]
+
+#: The evaluation's three indoor/outdoor environments (Figure 3-5).
+INDOOR_OUTDOOR_ENVS = ("office", "hallway", "outdoor")
+
+#: Constructors for every protocol in the Chapter 3 comparison.
+RATE_PROTOCOLS = {
+    "RapidSample": lambda seed: RapidSample(),
+    "SampleRate": lambda seed: SampleRate(),
+    "RRAA": lambda seed: RRAA(),
+    "RBAR": lambda seed: RBAR(training_seed=seed),
+    "CHARM": lambda seed: CHARM(training_seed=seed),
+    "HintAware": lambda seed: HintAwareRateController(),
+}
+
+
+def script_for_mode(mode: str, seed: int = 0, duration_s: float = 20.0) -> MotionScript:
+    """The motion script for an experiment mode.
+
+    ``mixed`` alternates which half moves, like the paper ("static for
+    the first 10 seconds and mobile for the next 10 seconds or the
+    vice versa").
+    """
+    if mode == "static":
+        return stationary_script(duration_s)
+    if mode == "mobile":
+        return pacing_script(duration_s)
+    if mode == "mixed":
+        return mixed_mobility_script(duration_s, mobile_first=bool(seed % 2))
+    if mode == "vehicular":
+        rng = np.random.default_rng(seed)
+        # 8-72 km/h drive-bys past the roadside sender (Figure 3-4).
+        speed = float(rng.uniform(2.2, 20.0))
+        return drive_by_script(passes=2, pass_duration_s=duration_s / 2.0,
+                               speed_mps=speed)
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+@lru_cache(maxsize=256)
+def cached_trace(env_name: str, mode: str, seed: int,
+                 duration_s: float = 20.0) -> ChannelTrace:
+    """Memoised trace generation (figures share trace sets)."""
+    env = environment_by_name(env_name)
+    script = script_for_mode(mode, seed, duration_s)
+    return generate_trace(env, script, seed=seed)
+
+
+@lru_cache(maxsize=256)
+def cached_hints(mode: str, seed: int, duration_s: float = 20.0) -> HintSeries:
+    """Memoised receiver-side movement-hint series for a mode/seed."""
+    script = script_for_mode(mode, seed, duration_s)
+    node = HintAwareNode(script, seed=seed)
+    return node.movement_hint_series()
+
+
+def protocol_throughput(
+    protocol: str,
+    env_name: str,
+    mode: str,
+    seed: int,
+    duration_s: float = 20.0,
+    tcp: bool = True,
+) -> float:
+    """Throughput (Mb/s) of one protocol on one trace."""
+    trace = cached_trace(env_name, mode, seed, duration_s)
+    hints = cached_hints(mode, seed, duration_s)
+    controller = RATE_PROTOCOLS[protocol](seed)
+    traffic = TcpSource() if tcp else UdpSource()
+    result = run_link(trace, controller, traffic=traffic,
+                      hint_series=hints, config=SimConfig(seed=seed))
+    return result.throughput_mbps
+
+
+def print_table(title: str, rows: dict, value_format: str = "{:.3f}") -> None:
+    """Uniform experiment output: one labelled row per entry."""
+    print(f"== {title} ==")
+    for key, value in rows.items():
+        if isinstance(value, dict):
+            cells = "  ".join(
+                f"{k}={value_format.format(v)}" for k, v in value.items()
+            )
+            print(f"  {key:24s} {cells}")
+        elif isinstance(value, float):
+            print(f"  {key:24s} {value_format.format(value)}")
+        else:
+            print(f"  {key:24s} {value}")

@@ -1,0 +1,55 @@
+"""Section 5.1 headline: CTE routes are 4-5x more stable than hint-free.
+
+"Our protocol increases route stability by a factor of 4 to 5 compared
+to a hint-free approach in our simulations."  Routes are selected at an
+instant over the live connectivity graph -- minimum-hop (hint-free)
+versus maximin-CTE (hint-aware) -- and scored by how long they survive.
+"""
+
+from __future__ import annotations
+
+from ..vehicular import compare_route_stability, simulate_vehicles
+from .common import print_table
+
+__all__ = ["run", "main"]
+
+
+def run(
+    n_networks: int = 6,
+    n_vehicles: int = 150,
+    duration_s: int = 300,
+    n_pairs_per_network: int = 30,
+    seed0: int = 0,
+) -> dict:
+    # Dense downtown traffic (the paper's taxi networks): routes to
+    # nearby infrastructure over 2-3 hops.
+    networks = [
+        simulate_vehicles(n_vehicles=n_vehicles, duration_s=duration_s,
+                          rows=5, cols=5, seed=seed0 + i)
+        for i in range(n_networks)
+    ]
+    result = compare_route_stability(
+        networks, n_pairs_per_network=n_pairs_per_network, max_hops=3,
+        seed=seed0
+    )
+    return {
+        "median_cte_lifetime_s": result.median_cte_s,
+        "median_minhop_lifetime_s": result.median_minhop_s,
+        "stability_factor": result.stability_factor,
+        "n_routes": len(result.cte_lifetimes_s),
+    }
+
+
+def main(seed: int = 0, n_networks: int = 6) -> dict:
+    result = run(n_networks=n_networks, seed0=seed)
+    print_table("Route stability: CTE vs min-hop", {
+        "median CTE route lifetime (s)": result["median_cte_lifetime_s"],
+        "median min-hop lifetime (s)": result["median_minhop_lifetime_s"],
+        "stability factor": result["stability_factor"],
+        "routes compared": result["n_routes"],
+    }, value_format="{:.1f}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Run the whole evaluation (every table and figure) and print a report.
+
+``python -m repro.experiments.runner [--quick]`` -- the --quick flag
+shrinks trace counts so the suite finishes in a couple of minutes;
+the full settings mirror the paper's trace counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    extras,
+    fig2_2,
+    fig3_1,
+    fig3_5,
+    fig3_6,
+    fig3_7,
+    fig3_8,
+    fig4_x,
+    fig5_1,
+    route_stability,
+    table5_1,
+)
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller trace counts (minutes, not tens)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    n_traces = 4 if args.quick else 10
+    n_networks = 4 if args.quick else 15
+
+    results = {}
+    stages = [
+        ("fig2_2", lambda: fig2_2.main(args.seed)),
+        ("fig3_1", lambda: fig3_1.main(args.seed)),
+        ("fig3_5", lambda: fig3_5.main(args.seed, n_traces)),
+        ("fig3_6", lambda: fig3_6.main(args.seed, n_traces)),
+        ("fig3_7", lambda: fig3_7.main(args.seed, n_traces)),
+        ("fig3_8", lambda: fig3_8.main(args.seed, n_traces)),
+        ("fig4_x", lambda: fig4_x.main(args.seed)),
+        ("table5_1", lambda: table5_1.main(args.seed, n_networks)),
+        ("route_stability", lambda: route_stability.main(
+            args.seed, max(4, n_networks // 2))),
+        ("fig5_1", lambda: fig5_1.main(args.seed)),
+        ("extras", lambda: extras.main(args.seed)),
+    ]
+    for name, stage in stages:
+        start = time.perf_counter()
+        results[name] = stage()
+        print(f"  [{name} done in {time.perf_counter() - start:.1f}s]\n")
+    return results
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,28 @@
+"""802.11a MAC substrate: timing, frames, traffic models and the
+trace-driven link simulator (replaces the paper's modified ns-3)."""
+
+from . import timing
+from .frames import AckFrame, DataFrame, Frame, HintFrame, ProbeRequest
+from .metrics import MeanCI, mean_confidence_interval, normalise_to
+from .simulator import LinkSimulator, RateControllerLike, SimConfig, SimResult, run_link
+from .traffic import TcpSource, TrafficSource, UdpSource
+
+__all__ = [
+    "timing",
+    "Frame",
+    "DataFrame",
+    "AckFrame",
+    "ProbeRequest",
+    "HintFrame",
+    "TrafficSource",
+    "UdpSource",
+    "TcpSource",
+    "LinkSimulator",
+    "run_link",
+    "SimConfig",
+    "SimResult",
+    "RateControllerLike",
+    "MeanCI",
+    "mean_confidence_interval",
+    "normalise_to",
+]

@@ -1,0 +1,96 @@
+"""Link-layer frame objects with Hint Protocol fields (Section 2.3).
+
+The trace-driven simulator mostly works with abstract exchanges, but the
+AP policy simulations (:mod:`repro.ap`) and the hint-protocol tests need
+concrete frames: data frames that can piggyback hints, ACKs that carry
+the stuffed movement bit, and probe requests carrying mobility hints for
+adaptive association (Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.hint_protocol import (
+    decode_movement_bit,
+    encode_hint_frame,
+    encode_movement_bit,
+)
+from ..core.hints import Hint, MovementHint
+
+__all__ = ["Frame", "DataFrame", "AckFrame", "ProbeRequest", "HintFrame"]
+
+
+@dataclass
+class Frame:
+    """Base frame: source/destination and a frame-control byte."""
+
+    src: str
+    dst: str
+    fc_byte: int = 0
+
+    def stuff_movement(self, moving: bool) -> None:
+        """Stuff the boolean movement hint into the unused FC bit."""
+        self.fc_byte = encode_movement_bit(self.fc_byte, moving)
+
+    @property
+    def movement_bit(self) -> bool:
+        return decode_movement_bit(self.fc_byte)
+
+
+@dataclass
+class DataFrame(Frame):
+    """A data frame; hints may be piggybacked after the payload."""
+
+    payload_bytes: int = 1000
+    piggybacked_hints: list[Hint] = field(default_factory=list)
+
+    def piggyback(self, hint: Hint) -> None:
+        self.piggybacked_hints.append(hint)
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload plus two bytes per piggybacked hint field."""
+        return self.payload_bytes + 2 * len(self.piggybacked_hints)
+
+
+@dataclass
+class AckFrame(Frame):
+    """Link-layer ACK; carries the movement bit for free."""
+
+    @classmethod
+    def responding_to(cls, data: DataFrame, moving: bool) -> "AckFrame":
+        ack = cls(src=data.dst, dst=data.src)
+        ack.stuff_movement(moving)
+        return ack
+
+
+@dataclass
+class ProbeRequest(Frame):
+    """Probe request augmented with mobility hints (Section 5.2.1)."""
+
+    hints: list[Hint] = field(default_factory=list)
+
+    def encoded_hints(self) -> bytes:
+        return encode_hint_frame(self.hints)
+
+    @property
+    def movement_hint(self) -> MovementHint | None:
+        for hint in self.hints:
+            if isinstance(hint, MovementHint):
+                return hint
+        return None
+
+
+@dataclass
+class HintFrame(Frame):
+    """Standalone short hint frame for idle senders (Section 2.3)."""
+
+    hints: list[Hint] = field(default_factory=list)
+
+    def encoded(self) -> bytes:
+        return encode_hint_frame(self.hints)
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self.encoded())

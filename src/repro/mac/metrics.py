@@ -1,0 +1,68 @@
+"""Throughput accounting helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["mean_confidence_interval", "normalise_to", "MeanCI"]
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A mean with a symmetric 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} +- {self.half_width:.3f} (n={self.n})"
+
+
+def mean_confidence_interval(values, confidence: float = 0.95) -> MeanCI:
+    """Mean and normal-approximation confidence half-width.
+
+    The paper's Figure 3-5 error bars are 95% confidence intervals over
+    10-20 traces; with those n the normal approximation (z=1.96) is what
+    matters for plot shape.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if len(data) == 0:
+        raise ValueError("need at least one value")
+    mean = float(data.mean())
+    if len(data) == 1:
+        return MeanCI(mean=mean, half_width=0.0, n=1)
+    z = {0.90: 1.645, 0.95: 1.96, 0.99: 2.576}.get(confidence)
+    if z is None:
+        raise ValueError("confidence must be one of 0.90, 0.95, 0.99")
+    sem = float(data.std(ddof=1)) / math.sqrt(len(data))
+    return MeanCI(mean=mean, half_width=z * sem, n=len(data))
+
+
+def normalise_to(values: dict[str, float], reference: str) -> dict[str, float]:
+    """Express each entry as a fraction of the reference entry.
+
+    The paper reports "throughput of all schemes as a fraction of the
+    throughput obtained by the hint-aware protocol" (Figure 3-5) or by
+    RapidSample (Figures 3-6/3-7/3-8).
+
+    >>> normalise_to({"a": 2.0, "b": 1.0}, "a")
+    {'a': 1.0, 'b': 0.5}
+    """
+    if reference not in values:
+        raise KeyError(f"reference {reference!r} not among {sorted(values)}")
+    ref = values[reference]
+    if ref == 0:
+        raise ZeroDivisionError("reference throughput is zero")
+    return {name: v / ref for name, v in values.items()}

@@ -1,0 +1,253 @@
+"""Trace-driven 802.11a link simulator (the paper's modified ns-3 stand-in).
+
+Replays a :class:`~repro.channel.trace.ChannelTrace` under a rate-control
+algorithm and a traffic source, with real 802.11a timing: DIFS, backoff,
+data airtime at the chosen rate, SIFS, ACK (or ACK timeout), retries with
+contention-window doubling, and a retry limit after which the packet is
+dropped (which a TCP source experiences as a timeout).
+
+The simulator also feeds the sender side channels the paper grants:
+
+* the receiver's movement hint (via the Hint Protocol), modelled as the
+  receiver-side hint series delayed by ``hint_delay_s``; and
+* up-to-date receiver SNR for the SNR-based protocols (Section 3.4
+  "assumed that the sender has up-to-date knowledge about the receiver
+  SNR"), modelled as the previous slot's SNR.
+
+Controllers are duck-typed; :mod:`repro.rate.base` provides the ABC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..channel.rates import N_RATES
+from ..channel.trace import ChannelTrace
+from ..core.architecture import HintSeries
+from ..core.hints import MovementHint
+from . import timing
+from .traffic import TrafficSource, UdpSource
+
+__all__ = ["RateControllerLike", "SimConfig", "SimResult", "LinkSimulator", "run_link"]
+
+
+@runtime_checkable
+class RateControllerLike(Protocol):
+    """Structural interface the simulator needs from a controller."""
+
+    def choose_rate(self, now_ms: float) -> int: ...
+
+    def on_result(self, rate_index: int, success: bool, now_ms: float) -> None: ...
+
+    def observe_snr(self, snr_db: float, now_ms: float) -> None: ...
+
+    def on_hint(self, hint: MovementHint) -> None: ...
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs of the link simulator."""
+
+    payload_bytes: int = 1000
+    retry_limit: int = 7
+    #: Sender-side hint latency: detector latency lives in the hint
+    #: series itself; this adds Hint Protocol delivery delay.
+    hint_delay_s: float = 0.02
+    #: Give the controller the previous slot's receiver SNR each attempt.
+    snr_feedback: bool = True
+    #: Per-frame SNR measurement noise (dB std).  Real chipset RSSI is
+    #: quantised and noisy; this is what CHARM's averaging smooths away
+    #: and what makes raw RBAR jittery on a stable channel.
+    snr_obs_noise_db: float = 1.5
+    #: Per-run systematic SNR calibration error (dB std of a fixed
+    #: offset).  A scalar SNR imperfectly predicts PER under
+    #: frequency-selective fading, so even an environment-trained
+    #: SNR->rate mapping is biased by a couple of dB on any given link;
+    #: CHARM's adaptive margin partially compensates, RBAR eats it.
+    snr_calibration_error_db: float = 1.5
+    #: Per-attempt loss floor on top of the trace's per-slot
+    #: interference floor: collisions and noise bursts hit individual
+    #: transmissions, not whole 5 ms slots.  Isolated attempt losses
+    #: are exactly what "aggressively reduces the rate even with a
+    #: single loss" (Section 3.5) pays for on a stable channel.
+    floor_loss_prob: float = 0.01
+    #: Include random backoff (contention-window draw) per attempt.
+    use_backoff: bool = True
+    #: Driver-level multi-rate retry chain (MadWiFi-style): after this
+    #: many failed attempts at the controller's rate, each further retry
+    #: steps one rate lower.  0 disables the ladder.
+    retry_ladder_after: int = 5
+    seed: int = 0
+
+
+@dataclass
+class SimResult:
+    """Outcome of one replay."""
+
+    duration_s: float
+    delivered: int
+    dropped: int
+    attempts: int
+    payload_bytes: int
+    rate_attempts: np.ndarray
+    rate_successes: np.ndarray
+    #: Delivery timestamps (s), for throughput-over-time series.
+    delivery_times_s: np.ndarray
+
+    @property
+    def throughput_mbps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.delivered * self.payload_bytes * 8.0 / self.duration_s / 1e6
+
+    @property
+    def loss_rate(self) -> float:
+        total = self.delivered + self.dropped
+        return self.dropped / total if total else 0.0
+
+    @property
+    def attempts_per_packet(self) -> float:
+        total = self.delivered + self.dropped
+        return self.attempts / total if total else 0.0
+
+    def throughput_series_mbps(self, bucket_s: float = 1.0) -> np.ndarray:
+        """Per-bucket delivered throughput (for Figure 5-1 style plots)."""
+        n_buckets = int(np.ceil(self.duration_s / bucket_s))
+        counts = np.zeros(n_buckets)
+        idx = np.minimum((self.delivery_times_s / bucket_s).astype(int), n_buckets - 1)
+        np.add.at(counts, idx, 1.0)
+        return counts * self.payload_bytes * 8.0 / bucket_s / 1e6
+
+
+class LinkSimulator:
+    """One sender, one receiver, one trace, one controller."""
+
+    def __init__(
+        self,
+        trace: ChannelTrace,
+        controller: RateControllerLike,
+        traffic: TrafficSource | None = None,
+        hint_series: HintSeries | None = None,
+        config: SimConfig | None = None,
+    ) -> None:
+        self._trace = trace
+        self._controller = controller
+        self._traffic = traffic if traffic is not None else UdpSource()
+        self._hints = hint_series
+        self._config = config if config is not None else SimConfig()
+        self._rng = np.random.default_rng(self._config.seed)
+        self._snr_bias_db = (
+            float(self._rng.normal(0.0, self._config.snr_calibration_error_db))
+            if self._config.snr_calibration_error_db > 0
+            else 0.0
+        )
+
+    def _backoff_us(self, retry_count: int) -> float:
+        if not self._config.use_backoff:
+            return 0.0
+        cw = min(timing.CW_MAX, (timing.CW_MIN + 1) * (2 ** retry_count) - 1)
+        return float(self._rng.integers(0, cw + 1)) * timing.SLOT_TIME_US
+
+    def run(self) -> SimResult:
+        cfg = self._config
+        trace = self._trace
+        duration_us = trace.duration_s * 1e6
+        t_us = 0.0
+        delivered = 0
+        dropped = 0
+        attempts_total = 0
+        rate_attempts = np.zeros(N_RATES, dtype=np.int64)
+        rate_successes = np.zeros(N_RATES, dtype=np.int64)
+        delivery_times: list[float] = []
+        last_hint: bool | None = None
+
+        while t_us < duration_us:
+            send_at = self._traffic.next_send_time_us(t_us)
+            if send_at > t_us:
+                if send_at >= duration_us or send_at == float("inf"):
+                    break
+                t_us = send_at
+                continue
+
+            # Serve one payload packet: attempts until ACK or retry limit.
+            retries = 0
+            while True:
+                now_s = t_us / 1e6
+                now_ms = t_us / 1e3
+
+                if self._hints is not None:
+                    hinted = bool(
+                        self._hints.value_at(now_s - cfg.hint_delay_s, default=False)
+                    )
+                    if hinted != last_hint:
+                        self._controller.on_hint(
+                            MovementHint(time_s=now_s, moving=hinted)
+                        )
+                        last_hint = hinted
+
+                if cfg.snr_feedback:
+                    prev_slot_t = max(0.0, now_s - trace.slot_s)
+                    observed = trace.snr_at(prev_slot_t) + self._snr_bias_db
+                    if cfg.snr_obs_noise_db > 0:
+                        observed += self._rng.normal(0.0, cfg.snr_obs_noise_db)
+                    self._controller.observe_snr(observed, now_ms)
+
+                rate = int(self._controller.choose_rate(now_ms))
+                if not 0 <= rate < N_RATES:
+                    raise ValueError(f"controller chose invalid rate {rate}")
+                if cfg.retry_ladder_after > 0 and retries > cfg.retry_ladder_after:
+                    # Driver retry chain: step below the chosen rate once
+                    # the configured attempts are exhausted.
+                    rate = max(0, rate - (retries - cfg.retry_ladder_after))
+
+                t_us += self._backoff_us(retries)
+                success = trace.fate(t_us / 1e6, rate)
+                if success and cfg.floor_loss_prob > 0:
+                    success = self._rng.random() >= cfg.floor_loss_prob
+                if success:
+                    t_us += timing.exchange_airtime_us(rate, cfg.payload_bytes)
+                else:
+                    t_us += timing.failed_exchange_us(rate, cfg.payload_bytes)
+
+                attempts_total += 1
+                rate_attempts[rate] += 1
+                self._controller.on_result(rate, success, t_us / 1e3)
+
+                if success:
+                    rate_successes[rate] += 1
+                    delivered += 1
+                    delivery_times.append(t_us / 1e6)
+                    self._traffic.on_delivered(t_us)
+                    break
+                retries += 1
+                if retries > cfg.retry_limit:
+                    dropped += 1
+                    self._traffic.on_dropped(t_us)
+                    break
+                if t_us >= duration_us:
+                    break
+
+        return SimResult(
+            duration_s=trace.duration_s,
+            delivered=delivered,
+            dropped=dropped,
+            attempts=attempts_total,
+            payload_bytes=cfg.payload_bytes,
+            rate_attempts=rate_attempts,
+            rate_successes=rate_successes,
+            delivery_times_s=np.asarray(delivery_times),
+        )
+
+
+def run_link(
+    trace: ChannelTrace,
+    controller: RateControllerLike,
+    traffic: TrafficSource | None = None,
+    hint_series: HintSeries | None = None,
+    config: SimConfig | None = None,
+) -> SimResult:
+    """Convenience wrapper: build and run a :class:`LinkSimulator`."""
+    return LinkSimulator(trace, controller, traffic, hint_series, config).run()

@@ -1,0 +1,115 @@
+"""802.11a MAC/PHY timing (the airtime arithmetic behind throughput).
+
+The paper's throughput numbers come from replaying traces through a
+simulator with real 802.11 timing; the relative ranking of protocols
+depends on per-rate airtime (a 54 Mb/s packet costs ~1/6th the air of a
+6 Mb/s packet, so rate choices trade loss against airtime).  Constants
+follow IEEE 802.11a (OFDM, 20 MHz).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..channel.rates import RATE_TABLE
+
+__all__ = [
+    "SLOT_TIME_US",
+    "SIFS_US",
+    "DIFS_US",
+    "PLCP_PREAMBLE_US",
+    "SYMBOL_US",
+    "ACK_BYTES",
+    "CW_MIN",
+    "CW_MAX",
+    "data_airtime_us",
+    "ack_airtime_us",
+    "ack_rate_index",
+    "exchange_airtime_us",
+    "failed_exchange_us",
+    "mean_backoff_us",
+    "lossless_throughput_mbps",
+]
+
+SLOT_TIME_US = 9.0
+SIFS_US = 16.0
+DIFS_US = 34.0          # SIFS + 2 * slot
+PLCP_PREAMBLE_US = 20.0  # preamble + PLCP header (signal field)
+SYMBOL_US = 4.0
+ACK_BYTES = 14
+#: Service (16 bits) + tail (6 bits) added to every PSDU.
+_SERVICE_TAIL_BITS = 22
+CW_MIN = 15
+CW_MAX = 1023
+
+
+def data_airtime_us(rate_index: int, n_bytes: int) -> float:
+    """Airtime of one data frame at a rate, preamble included.
+
+    >>> data_airtime_us(7, 1000) < data_airtime_us(0, 1000)
+    True
+    """
+    if n_bytes <= 0:
+        raise ValueError("frame must have at least one byte")
+    bits = 8 * n_bytes + _SERVICE_TAIL_BITS
+    symbols = math.ceil(bits / RATE_TABLE[rate_index].bits_per_symbol)
+    return PLCP_PREAMBLE_US + symbols * SYMBOL_US
+
+
+def ack_rate_index(data_rate_index: int) -> int:
+    """Control-response rate: highest mandatory rate <= the data rate.
+
+    802.11a mandatory rates are 6, 12, 24 Mb/s (indices 0, 2, 4).
+    """
+    for idx in (4, 2, 0):
+        if idx <= data_rate_index:
+            return idx
+    return 0
+
+
+def ack_airtime_us(data_rate_index: int) -> float:
+    """Airtime of the ACK answering a data frame at ``data_rate_index``."""
+    return data_airtime_us(ack_rate_index(data_rate_index), ACK_BYTES)
+
+
+def exchange_airtime_us(rate_index: int, n_bytes: int) -> float:
+    """One successful DATA/ACK exchange: DIFS + DATA + SIFS + ACK."""
+    return (
+        DIFS_US
+        + data_airtime_us(rate_index, n_bytes)
+        + SIFS_US
+        + ack_airtime_us(rate_index)
+    )
+
+
+def failed_exchange_us(rate_index: int, n_bytes: int) -> float:
+    """A failed attempt: DIFS + DATA + ACK timeout (SIFS + ACK + slot)."""
+    return (
+        DIFS_US
+        + data_airtime_us(rate_index, n_bytes)
+        + SIFS_US
+        + ack_airtime_us(rate_index)
+        + SLOT_TIME_US
+    )
+
+
+def mean_backoff_us(retry_count: int) -> float:
+    """Expected backoff before (re)transmission attempt ``retry_count``.
+
+    Contention window doubles per retry: CW = min(CW_MAX,
+    (CW_MIN + 1) * 2^retries - 1); expected wait is CW/2 slots.
+    """
+    if retry_count < 0:
+        raise ValueError("retry count must be non-negative")
+    cw = min(CW_MAX, (CW_MIN + 1) * (2 ** retry_count) - 1)
+    return cw / 2.0 * SLOT_TIME_US
+
+
+def lossless_throughput_mbps(rate_index: int, n_bytes: int = 1000) -> float:
+    """Payload throughput of back-to-back successful exchanges.
+
+    This is SampleRate's "lossless transmission time" yardstick, and the
+    ceiling any controller can reach on a clean channel.
+    """
+    per_packet_us = exchange_airtime_us(rate_index, n_bytes) + mean_backoff_us(0)
+    return (8.0 * n_bytes) / per_packet_us

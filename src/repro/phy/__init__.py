@@ -1,0 +1,26 @@
+"""Physical-layer hint applications (Section 5.3): cyclic-prefix
+adaptation from the outdoor hint, frame sizing from the speed hint."""
+
+from .ofdm import (
+    DELAY_SPREAD_INDOOR_NS,
+    DELAY_SPREAD_OUTDOOR_NS,
+    GUARD_EXTENDED_US,
+    GUARD_STANDARD_US,
+    choose_cyclic_prefix,
+    effective_throughput_mbps,
+    isi_sir_db,
+    isi_snr_penalty_db,
+    max_frame_bytes_for_speed,
+)
+
+__all__ = [
+    "GUARD_STANDARD_US",
+    "GUARD_EXTENDED_US",
+    "DELAY_SPREAD_INDOOR_NS",
+    "DELAY_SPREAD_OUTDOOR_NS",
+    "isi_sir_db",
+    "isi_snr_penalty_db",
+    "effective_throughput_mbps",
+    "choose_cyclic_prefix",
+    "max_frame_bytes_for_speed",
+]

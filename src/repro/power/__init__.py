@@ -1,0 +1,17 @@
+"""Movement-based power saving (Section 5.4)."""
+
+from .saving import (
+    MAX_USEFUL_SPEED_MPS,
+    POLICIES,
+    PowerPolicyResult,
+    RadioPowerModel,
+    simulate_power,
+)
+
+__all__ = [
+    "RadioPowerModel",
+    "PowerPolicyResult",
+    "simulate_power",
+    "POLICIES",
+    "MAX_USEFUL_SPEED_MPS",
+]

@@ -1,0 +1,27 @@
+"""Bit-rate adaptation protocols (Chapter 3): RapidSample and the
+hint-aware switch (contributions) plus SampleRate, RRAA, RBAR, CHARM,
+fixed-rate and oracle baselines."""
+
+from .base import RateController
+from .rapidsample import RapidSample
+from .samplerate import SampleRate
+from .rraa import RRAA
+from .rbar import RBAR, snr_to_rate
+from .charm import CHARM
+from .hintaware import HintAwareRateController
+from .fixed import FixedRate, RoundRobin
+from .oracle import OracleRate
+
+__all__ = [
+    "RateController",
+    "RapidSample",
+    "SampleRate",
+    "RRAA",
+    "RBAR",
+    "snr_to_rate",
+    "CHARM",
+    "HintAwareRateController",
+    "FixedRate",
+    "RoundRobin",
+    "OracleRate",
+]

@@ -1,0 +1,57 @@
+"""Rate-controller interface shared by all adaptation protocols (Ch. 3).
+
+A controller is called once per transmission attempt:
+
+1. (optional) :meth:`observe_snr` -- latest receiver SNR, for SNR-based
+   protocols (RBAR/CHARM);
+2. (optional) :meth:`on_hint` -- a hint arriving over the Hint Protocol;
+3. :meth:`choose_rate` -- pick the rate index for this attempt;
+4. :meth:`on_result` -- learn whether the attempt was ACKed.
+
+Times are in elapsed milliseconds, matching the paper's RapidSample
+pseudocode (Figure 3-2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..channel.rates import N_RATES
+from ..core.hints import Hint
+
+__all__ = ["RateController"]
+
+
+class RateController(ABC):
+    """Base class for bit-rate adaptation algorithms."""
+
+    #: Human-readable protocol name used in result tables.
+    name: str = "base"
+
+    def __init__(self, n_rates: int = N_RATES) -> None:
+        if n_rates < 1:
+            raise ValueError("need at least one rate")
+        self.n_rates = n_rates
+
+    @abstractmethod
+    def choose_rate(self, now_ms: float) -> int:
+        """Rate index (0 = slowest) for the attempt starting now."""
+
+    @abstractmethod
+    def on_result(self, rate_index: int, success: bool, now_ms: float) -> None:
+        """Feedback: was the attempt at ``rate_index`` ACKed?"""
+
+    def observe_snr(self, snr_db: float, now_ms: float) -> None:
+        """Receiver SNR feedback; frame-based protocols ignore it."""
+
+    def on_hint(self, hint: Hint) -> None:
+        """A hint arrived via the Hint Protocol; most protocols ignore it."""
+
+    def reset(self) -> None:
+        """Forget all learned state (fresh association)."""
+
+    def _check_rate(self, rate_index: int) -> None:
+        if not 0 <= rate_index < self.n_rates:
+            raise ValueError(
+                f"rate index {rate_index} out of range 0..{self.n_rates - 1}"
+            )

@@ -1,0 +1,116 @@
+"""CHARM (Judd et al., MobiSys 2008) -- averaged-SNR baseline.
+
+CHARM avoids RTS/CTS overhead by exploiting channel reciprocity: it
+averages the SNR of frames recently overheard from the receiver and maps
+the average through trained thresholds, adapting a protection margin
+from observed losses.  Per Section 3.5: "While CHARM maintains a history
+of SNR values of recent packets and uses the average SNR, RBAR uses the
+SNR of the most recently received packet alone" -- so CHARM is the
+smoothed twin of :class:`repro.rate.rbar.RBAR`, better static (robust to
+short-term SNR fluctuation), slightly worse mobile (the average lags the
+channel).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..channel.ber import DEFAULT_PER_MODEL, LogisticPerModel
+from ..channel.rates import N_RATES
+from .base import RateController
+from .rbar import snr_to_rate
+
+__all__ = ["CHARM"]
+
+
+class CHARM(RateController):
+    """Windowed-average SNR with an adaptive protection margin."""
+
+    name = "CHARM"
+
+    def __init__(
+        self,
+        n_rates: int = N_RATES,
+        window_ms: float = 1000.0,
+        per_model: LogisticPerModel | None = None,
+        max_per: float = 0.1,
+        payload_bytes: int = 1000,
+        margin_step_db: float = 0.25,
+        max_margin_db: float = 6.0,
+        training_error_db: float = 1.5,
+        training_seed: int = 0,
+    ) -> None:
+        super().__init__(n_rates)
+        if window_ms <= 0:
+            raise ValueError("window must be positive")
+        self._window_ms = window_ms
+        self._model = per_model if per_model is not None else DEFAULT_PER_MODEL
+        self._max_per = max_per
+        self._payload = payload_bytes
+        self._margin_step = margin_step_db
+        self._max_margin = max_margin_db
+        # Imperfect per-rate training, same model as RBAR's: a single
+        # adaptive margin cannot correct every rate boundary at once.
+        rng = np.random.default_rng(training_seed)
+        if training_error_db > 0:
+            self._bias = np.asarray(
+                rng.normal(0.0, training_error_db, size=N_RATES)
+            )
+        else:
+            self._bias = np.zeros(N_RATES)
+        # CHARM infers the downlink SNR from frames *overheard* on the
+        # uplink (channel reciprocity).  TX/RX chain asymmetry makes that
+        # inference off by a device-dependent constant -- the calibration
+        # problem the CHARM paper itself works around.  RBAR's RTS/CTS
+        # feedback does not suffer this.
+        self._reciprocity_offset_db = float(rng.normal(0.0, 1.5))
+        self.reset()
+
+    def reset(self) -> None:
+        self._samples: deque[tuple[float, float]] = deque()  # (time_ms, snr)
+        self._snr_sum = 0.0
+        self._margin_db = 0.0
+
+    # ------------------------------------------------------------------
+    def _expire(self, now_ms: float) -> None:
+        horizon = now_ms - self._window_ms
+        while self._samples and self._samples[0][0] < horizon:
+            _, snr = self._samples.popleft()
+            self._snr_sum -= snr
+
+    def observe_snr(self, snr_db: float, now_ms: float) -> None:
+        self._expire(now_ms)
+        observed = snr_db + self._reciprocity_offset_db
+        self._samples.append((now_ms, observed))
+        self._snr_sum += observed
+
+    @property
+    def average_snr_db(self) -> float | None:
+        if not self._samples:
+            return None
+        return self._snr_sum / len(self._samples)
+
+    @property
+    def margin_db(self) -> float:
+        return self._margin_db
+
+    def choose_rate(self, now_ms: float) -> int:
+        self._expire(now_ms)
+        avg = self.average_snr_db
+        if avg is None:
+            return 0
+        rate = snr_to_rate(
+            avg, self._model, self._max_per, self._payload,
+            margin_db=self._margin_db, threshold_bias_db=self._bias,
+        )
+        return min(rate, self.n_rates - 1)
+
+    def on_result(self, rate_index: int, success: bool, now_ms: float) -> None:
+        """Adapt the protection margin: grow on loss, decay on success."""
+        self._check_rate(rate_index)
+        if success:
+            self._margin_db = max(0.0, self._margin_db - self._margin_step / 10.0)
+        else:
+            self._margin_db = min(self._max_margin, self._margin_db + self._margin_step)

@@ -1,0 +1,53 @@
+"""Trivial controllers: fixed rate, and round-robin (the trace collector).
+
+``FixedRate`` is the classic ablation baseline.  ``RoundRobin`` cycles
+through all rates like the paper's trace-collection sender (Section 3.3:
+"cycling through the 802.11a OFDM bit rates ... in round-robin order"),
+used to validate trace statistics.
+"""
+
+from __future__ import annotations
+
+from ..channel.rates import N_RATES
+from .base import RateController
+
+__all__ = ["FixedRate", "RoundRobin"]
+
+
+class FixedRate(RateController):
+    """Always the same rate."""
+
+    name = "Fixed"
+
+    def __init__(self, rate_index: int, n_rates: int = N_RATES) -> None:
+        super().__init__(n_rates)
+        self._check_rate(rate_index)
+        self._rate = rate_index
+        self.name = f"Fixed-{rate_index}"
+
+    def choose_rate(self, now_ms: float) -> int:
+        return self._rate
+
+    def on_result(self, rate_index: int, success: bool, now_ms: float) -> None:
+        self._check_rate(rate_index)
+
+
+class RoundRobin(RateController):
+    """Cycle through every rate, one packet each."""
+
+    name = "RoundRobin"
+
+    def __init__(self, n_rates: int = N_RATES) -> None:
+        super().__init__(n_rates)
+        self._next = 0
+
+    def choose_rate(self, now_ms: float) -> int:
+        rate = self._next
+        self._next = (self._next + 1) % self.n_rates
+        return rate
+
+    def on_result(self, rate_index: int, success: bool, now_ms: float) -> None:
+        self._check_rate(rate_index)
+
+    def reset(self) -> None:
+        self._next = 0

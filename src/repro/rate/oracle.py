@@ -1,0 +1,37 @@
+"""Omniscient per-slot rate oracle: the throughput upper bound.
+
+Not a protocol from the paper -- an analysis tool.  The oracle reads the
+trace and, for each slot, picks the fastest rate whose fate in that slot
+is success (falling back to the slowest rate if everything fails).  No
+causal protocol can beat it on the same trace, so experiment sanity
+checks assert ``oracle >= every protocol``.
+"""
+
+from __future__ import annotations
+
+from ..channel.rates import N_RATES
+from ..channel.trace import ChannelTrace
+from .base import RateController
+
+__all__ = ["OracleRate"]
+
+
+class OracleRate(RateController):
+    """Sees the trace; picks the fastest succeeding rate per slot."""
+
+    name = "Oracle"
+
+    def __init__(self, trace: ChannelTrace, n_rates: int = N_RATES) -> None:
+        super().__init__(n_rates)
+        self._trace = trace
+
+    def choose_rate(self, now_ms: float) -> int:
+        slot = self._trace.slot_at(now_ms / 1000.0)
+        fates = self._trace.fates[slot]
+        for rate in range(self.n_rates - 1, -1, -1):
+            if fates[rate]:
+                return rate
+        return 0
+
+    def on_result(self, rate_index: int, success: bool, now_ms: float) -> None:
+        self._check_rate(rate_index)

@@ -1,0 +1,117 @@
+"""RapidSample -- the paper's mobile-tuned rate protocol (Section 3.1).
+
+The algorithm of Figure 3-2, verbatim in behaviour:
+
+* Start at the fastest bit rate.
+* On a failed attempt: record ``failedTime[rate] = now``; if the failed
+  attempt was a *sample*, fall back to the pre-sample rate, otherwise
+  step down one rate.
+* On success: if the current rate has been held for more than
+  ``succ_ms`` (paper: 5 ms), sample upward -- jump to the fastest rate
+  such that neither it nor any slower rate has failed within the last
+  ``fail_ms`` (paper: 10 ms, the measured channel coherence time).  The
+  jump is opportunistic (may skip several rates).  If the sampled rate
+  fails, revert to the original rate; if it succeeds, adopt it.
+
+The four design ideas (Section 3.1): losses are bursty so step down
+immediately; ``fail_ms`` matches the coherence time so failed rates are
+retried only after the channel has decorrelated; a *small* number of
+successes (``succ_ms`` < ``fail_ms``) is enough evidence to try faster
+rates; and a failed sample reverts rather than re-stepping down.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..channel.rates import N_RATES
+from .base import RateController
+
+__all__ = ["RapidSample"]
+
+#: Paper's parameter values (Section 3.1): 5 ms of success before
+#: sampling up; 10 ms quarantine for failed rates.
+DEFAULT_SUCC_MS = 5.0
+DEFAULT_FAIL_MS = 10.0
+
+
+class RapidSample(RateController):
+    """Frame-based rate adaptation for rapidly changing channels."""
+
+    name = "RapidSample"
+
+    def __init__(
+        self,
+        n_rates: int = N_RATES,
+        succ_ms: float = DEFAULT_SUCC_MS,
+        fail_ms: float = DEFAULT_FAIL_MS,
+    ) -> None:
+        super().__init__(n_rates)
+        if succ_ms <= 0 or fail_ms <= 0:
+            raise ValueError("succ_ms and fail_ms must be positive")
+        self._succ_ms = succ_ms
+        self._fail_ms = fail_ms
+        self.reset()
+
+    def reset(self) -> None:
+        self._failed_time = [-math.inf] * self.n_rates
+        self._picked_time = [0.0] * self.n_rates
+        self._current = self.n_rates - 1  # start at the fastest rate
+        self._sampling = False
+        self._old_rate = self._current
+        self._have_result = True  # nothing pending before the first packet
+
+    # ------------------------------------------------------------------
+    @property
+    def current_rate(self) -> int:
+        return self._current
+
+    @property
+    def is_sampling(self) -> bool:
+        return self._sampling
+
+    def choose_rate(self, now_ms: float) -> int:
+        return self._current
+
+    def on_result(self, rate_index: int, success: bool, now_ms: float) -> None:
+        """The Figure 3-2 update, applied after each attempt."""
+        self._check_rate(rate_index)
+        last = rate_index
+        if not success:
+            self._failed_time[last] = now_ms
+            if self._sampling:
+                new = self._old_rate          # failed sample: revert
+            else:
+                new = max(0, last - 1)        # ordinary loss: step down
+            self._sampling = False
+        else:
+            self._sampling = False            # a successful sample is adopted
+            if now_ms - self._picked_time[last] > self._succ_ms:
+                candidate = self._best_unquarantined(now_ms)
+                if candidate != last:
+                    self._sampling = True
+                    self._old_rate = last
+                new = candidate
+            else:
+                new = last
+        if new != last:
+            self._picked_time[new] = now_ms
+        self._current = new
+
+    def _best_unquarantined(self, now_ms: float) -> int:
+        """Fastest rate i such that no rate j <= i failed within fail_ms.
+
+        Figure 3-2: ``br <- max{i | forall j <= i:
+        CurrTime() - failedTime[j] > fail_ms}``.  The prefix condition
+        means a recent failure at a slow rate also blocks all faster
+        rates (if 12 Mb/s just failed, 54 Mb/s will too).
+        """
+        best = -1
+        for i in range(self.n_rates):
+            if now_ms - self._failed_time[i] > self._fail_ms:
+                best = i
+            else:
+                break
+        # If even the slowest rate failed recently there is no clean
+        # prefix; stay on the slowest rate rather than stall.
+        return max(best, 0)

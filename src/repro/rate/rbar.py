@@ -1,0 +1,110 @@
+"""RBAR (Holland et al., MobiCom 2001) -- instantaneous-SNR baseline.
+
+RBAR picks the rate from the SNR of the most recent frame heard from the
+receiver (in the original protocol, the RTS/CTS exchange).  Following
+Section 3.4, the protocol is *trained for the operating environment*
+(the SNR->rate thresholds come from the true PER model) and the sender
+is granted up-to-date receiver SNR (the simulator feeds the previous
+slot's SNR before every attempt).
+
+Its strength and weakness are the same thing: it uses the single latest
+SNR.  Static, that makes it jittery against noise (CHARM's averaging
+wins); mobile, freshness beats averaging (RBAR edges CHARM) but the
+5 ms-old sample is still stale relative to an ~8 ms coherence time,
+which is why both SNR protocols trail RapidSample when moving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..channel.ber import DEFAULT_PER_MODEL, LogisticPerModel
+from ..channel.rates import N_RATES, RATE_TABLE
+from .base import RateController
+
+__all__ = ["RBAR", "snr_to_rate"]
+
+
+def snr_to_rate(
+    snr_db: float,
+    per_model: LogisticPerModel | None = None,
+    max_per: float = 0.1,
+    payload_bytes: int = 1000,
+    margin_db: float = 0.0,
+    threshold_bias_db=None,
+) -> int:
+    """Trained SNR->rate mapping: fastest rate with PER <= ``max_per``.
+
+    ``margin_db`` backs the decision off (CHARM adapts such a margin).
+    ``threshold_bias_db`` (length-``N_RATES`` array) models imperfect
+    training: frequency-selective fading makes the effective per-rate
+    threshold differ from the trained scalar-SNR one by a dB or two, and
+    differently for each rate, so no single margin fixes every boundary.
+
+    >>> snr_to_rate(30.0)
+    7
+    >>> snr_to_rate(-10.0)
+    0
+    """
+    model = per_model if per_model is not None else DEFAULT_PER_MODEL
+    best = 0
+    for r in range(N_RATES):
+        bias = 0.0 if threshold_bias_db is None else float(threshold_bias_db[r])
+        effective = snr_db - margin_db - bias
+        if model.per(effective, r, payload_bytes) <= max_per:
+            best = r
+    return best
+
+
+class RBAR(RateController):
+    """Receiver-based autorate: rate from the latest SNR sample."""
+
+    name = "RBAR"
+
+    def __init__(
+        self,
+        n_rates: int = N_RATES,
+        per_model: LogisticPerModel | None = None,
+        max_per: float = 0.1,
+        payload_bytes: int = 1000,
+        training_error_db: float = 1.5,
+        training_seed: int = 0,
+    ) -> None:
+        super().__init__(n_rates)
+        self._model = per_model if per_model is not None else DEFAULT_PER_MODEL
+        self._max_per = max_per
+        self._payload = payload_bytes
+        # Imperfect per-rate training (see snr_to_rate); 0 disables.
+        if training_error_db > 0:
+            rng = np.random.default_rng(training_seed)
+            self._bias = rng.normal(0.0, training_error_db, size=N_RATES)
+        else:
+            self._bias = np.zeros(N_RATES)
+        # Precompute the rate for integer-quantised SNR (fast lookup).
+        self._lut_lo = -20
+        self._lut_hi = 60
+        self._lut = np.array(
+            [
+                snr_to_rate(s, self._model, max_per, payload_bytes,
+                            threshold_bias_db=self._bias)
+                for s in range(self._lut_lo, self._lut_hi + 1)
+            ],
+            dtype=np.int64,
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        self._last_snr: float | None = None
+
+    def observe_snr(self, snr_db: float, now_ms: float) -> None:
+        self._last_snr = snr_db
+
+    def choose_rate(self, now_ms: float) -> int:
+        if self._last_snr is None:
+            return 0  # no channel knowledge yet: be conservative
+        idx = int(round(self._last_snr)) - self._lut_lo
+        idx = min(max(idx, 0), len(self._lut) - 1)
+        return int(min(self._lut[idx], self.n_rates - 1))
+
+    def on_result(self, rate_index: int, success: bool, now_ms: float) -> None:
+        self._check_rate(rate_index)  # SNR-driven: frame fate unused

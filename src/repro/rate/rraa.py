@@ -1,0 +1,121 @@
+"""RRAA (Wong et al., MobiCom 2006) -- the short-window baseline.
+
+Robust Rate Adaptation Algorithm: keep a short per-rate estimation
+window of frame loss ratio ``P`` and compare it against two thresholds
+derived from airtime arithmetic:
+
+* ``P_MTL`` (maximum tolerable loss): above it, the next-lower rate
+  yields more goodput, so step down.  ``P_MTL(R) = alpha * l*(R)`` where
+  the critical loss ratio ``l*(R) = 1 - tx_time(R) / tx_time(R-1)``
+  equates goodput at R (with loss) to lossless goodput at R-1.
+* ``P_ORI`` (opportunistic rate increase): ``P_MTL(R+1) / beta``;
+  below it, step up.
+
+Decisions are made when the estimation window fills (or immediately if
+the loss count already guarantees ``P > P_MTL``).  RRAA is more
+opportunistic than SampleRate but, as the paper notes (Section 6.2), its
+window "still does not adapt to the rapidly changing channel conditions
+when a node is mobile".  The RTS-based collision filter (A-RTS) is not
+modelled: the paper's trace-driven setup has no contending stations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..channel.rates import N_RATES
+from ..mac import timing
+from .base import RateController
+
+__all__ = ["RRAA"]
+
+_ALPHA = 1.25   # published tuning: P_MTL = alpha * critical loss ratio
+_BETA = 2.0     # published tuning: P_ORI = P_MTL(next) / beta
+
+
+class RRAA(RateController):
+    """Loss-ratio thresholding over a short estimation window."""
+
+    name = "RRAA"
+
+    def __init__(
+        self,
+        n_rates: int = N_RATES,
+        window_frames: int = 40,
+        payload_bytes: int = 1000,
+    ) -> None:
+        super().__init__(n_rates)
+        if window_frames < 4:
+            raise ValueError("estimation window too small")
+        tx = np.array(
+            [timing.exchange_airtime_us(r, payload_bytes) for r in range(n_rates)]
+        )
+        # Per-rate estimation windows (the RRAA paper's ewnd): scaled so
+        # each window spans comparable airtime -- low rates get short
+        # windows, the top rate gets ``window_frames``.
+        self._windows = np.maximum(
+            8, np.round(window_frames * tx[n_rates - 1] / tx).astype(int)
+        )
+        # Critical loss ratio vs the next-lower rate; the slowest rate
+        # has nowhere to go so its critical ratio is 1 (never forced down).
+        crit = np.ones(n_rates)
+        for r in range(1, n_rates):
+            crit[r] = max(0.0, 1.0 - tx[r] / tx[r - 1])
+        self._p_mtl = np.minimum(1.0, _ALPHA * crit)
+        self._p_ori = np.zeros(n_rates)
+        for r in range(n_rates - 1):
+            self._p_ori[r] = self._p_mtl[r + 1] / _BETA
+        self.reset()
+
+    def reset(self) -> None:
+        self._current = self.n_rates - 1
+        self._sent = 0
+        self._lost = 0
+        # Climb hysteresis: require two consecutive clean windows before
+        # probing the next-higher rate, so a clean channel is not taxed
+        # with a guaranteed-to-fail excursion every single window.
+        self._clean_windows = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_rate(self) -> int:
+        return self._current
+
+    def choose_rate(self, now_ms: float) -> int:
+        return self._current
+
+    def on_result(self, rate_index: int, success: bool, now_ms: float) -> None:
+        self._check_rate(rate_index)
+        if rate_index != self._current:
+            # Rate changed under us (e.g. wrapped by a hint-aware switch):
+            # restart estimation at the new rate.
+            self._current = rate_index
+            self._sent = 0
+            self._lost = 0
+        self._sent += 1
+        if not success:
+            self._lost += 1
+
+        window = int(self._windows[self._current])
+        loss_ratio = self._lost / self._sent
+        window_full = self._sent >= window
+        # Short-circuit down-shift: even if the window is not full, the
+        # losses already seen may guarantee P > P_MTL at window end.
+        guaranteed_over = self._lost / window > self._p_mtl[self._current]
+
+        if window_full or guaranteed_over:
+            if loss_ratio > self._p_mtl[self._current] and self._current > 0:
+                self._current -= 1
+                self._clean_windows = 0
+            elif (
+                loss_ratio < self._p_ori[self._current]
+                and self._current < self.n_rates - 1
+            ):
+                self._clean_windows += 1
+                if self._clean_windows >= 2:
+                    self._current += 1
+                    self._clean_windows = 0
+            else:
+                self._clean_windows = 0
+            self._sent = 0
+            self._lost = 0

@@ -1,0 +1,178 @@
+"""SampleRate (Bicket 2005) -- the static-tuned baseline (Section 6.2).
+
+SampleRate "picks the bit rate that minimizes the average packet
+transmission time over a ten-second window" and "periodically samples
+higher bit rates to adapt to changing channel conditions".  This is the
+algorithm of John Bicket's MS thesis, implemented with its key rules:
+
+* per-rate statistics (successes, failures, cumulative transmission
+  time including retries and backoff) over a sliding ``window_s`` window
+  (default 10 s);
+* current rate = the rate with the lowest *average per-packet
+  transmission time* among rates with data; unseen rates are scored by
+  their lossless transmission time (optimistic);
+* every ``sample_every`` packets (Bicket: 10), transmit one packet at a
+  randomly chosen candidate rate whose lossless time beats the current
+  best average and which has not failed four consecutive times;
+* rates with four successive failures are excluded until the window
+  forgets them.
+
+The long window is exactly why SampleRate excels on stable channels and
+lags on mobile ones (Figures 3-6/3-7): stale loss history keeps it at
+yesterday's rate.  The paper post-processes to pick the best window per
+trace; :class:`repro.experiments.fig3_5` mirrors that bias.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel.rates import N_RATES
+from ..mac import timing
+from .base import RateController
+
+__all__ = ["SampleRate"]
+
+
+@dataclass
+class _TxRecord:
+    time_ms: float
+    rate: int
+    success: bool
+    airtime_us: float
+
+
+class SampleRate(RateController):
+    """Minimum-average-transmission-time rate selection."""
+
+    name = "SampleRate"
+
+    def __init__(
+        self,
+        n_rates: int = N_RATES,
+        window_s: float = 10.0,
+        sample_every: int = 10,
+        payload_bytes: int = 1000,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(n_rates)
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        if sample_every < 2:
+            raise ValueError("sample_every must be at least 2")
+        self._window_ms = window_s * 1000.0
+        self._sample_every = sample_every
+        self._payload = payload_bytes
+        self._rng = np.random.default_rng(seed)
+        self._lossless_us = np.array(
+            [timing.exchange_airtime_us(r, payload_bytes) for r in range(n_rates)]
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        self._records: deque[_TxRecord] = deque()
+        self._tx_time_us = np.zeros(self.n_rates)
+        self._successes = np.zeros(self.n_rates, dtype=np.int64)
+        self._failures = np.zeros(self.n_rates, dtype=np.int64)
+        self._consecutive_failures = np.zeros(self.n_rates, dtype=np.int64)
+        self._packet_count = 0
+        self._current = self.n_rates - 1   # optimistic start, like the driver
+        self._sampling_rate: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def current_rate(self) -> int:
+        """Most recent operating rate (for hint-aware seed handoff)."""
+        return self._current
+
+    def _expire(self, now_ms: float) -> None:
+        horizon = now_ms - self._window_ms
+        while self._records and self._records[0].time_ms < horizon:
+            rec = self._records.popleft()
+            self._tx_time_us[rec.rate] -= rec.airtime_us
+            if rec.success:
+                self._successes[rec.rate] -= 1
+            else:
+                self._failures[rec.rate] -= 1
+            # Once the window has forgotten a rate entirely, its
+            # four-successive-failures quarantine lapses too; otherwise a
+            # rate that crashed once would be banned forever.
+            if self._successes[rec.rate] + self._failures[rec.rate] == 0:
+                self._consecutive_failures[rec.rate] = 0
+
+    def _average_tx_time_us(self, rate: int) -> float:
+        """Average airtime per *delivered* packet at this rate."""
+        succ = self._successes[rate]
+        if succ <= 0:
+            return np.inf
+        return self._tx_time_us[rate] / succ
+
+    def _best_rate(self) -> int:
+        """Rate with minimum average tx time; unseen rates score lossless.
+
+        The four-successive-failures quarantine only bars *unproven*
+        rates (no success in the window): a rate with thousands of
+        successes is not exiled by one unlucky burst -- its average
+        transmission time already absorbs those failures.
+        """
+        best, best_time = 0, np.inf
+        for r in range(self.n_rates):
+            if self._consecutive_failures[r] >= 4 and self._successes[r] == 0:
+                continue
+            attempts = self._successes[r] + self._failures[r]
+            score = (
+                self._average_tx_time_us(r) if attempts > 0 else self._lossless_us[r]
+            )
+            if score < best_time:
+                best, best_time = r, score
+        return best
+
+    def _pick_sample_rate(self, current_best: int) -> int | None:
+        """A candidate that could beat the current best, at random."""
+        best_avg = self._average_tx_time_us(current_best)
+        if not np.isfinite(best_avg):
+            best_avg = self._lossless_us[current_best]
+        candidates = [
+            r
+            for r in range(self.n_rates)
+            if r != current_best
+            and self._consecutive_failures[r] < 4
+            and self._lossless_us[r] < best_avg
+        ]
+        if not candidates:
+            return None
+        return int(self._rng.choice(candidates))
+
+    # ------------------------------------------------------------------
+    def choose_rate(self, now_ms: float) -> int:
+        self._expire(now_ms)
+        self._packet_count += 1
+        best = self._best_rate()
+        self._sampling_rate = None
+        if self._packet_count % self._sample_every == 0:
+            sample = self._pick_sample_rate(best)
+            if sample is not None:
+                self._sampling_rate = sample
+                self._current = sample
+                return sample
+        self._current = best
+        return best
+
+    def on_result(self, rate_index: int, success: bool, now_ms: float) -> None:
+        self._check_rate(rate_index)
+        airtime = (
+            timing.exchange_airtime_us(rate_index, self._payload)
+            if success
+            else timing.failed_exchange_us(rate_index, self._payload)
+        )
+        self._records.append(_TxRecord(now_ms, rate_index, success, airtime))
+        self._tx_time_us[rate_index] += airtime
+        if success:
+            self._successes[rate_index] += 1
+            self._consecutive_failures[rate_index] = 0
+        else:
+            self._failures[rate_index] += 1
+            self._consecutive_failures[rate_index] += 1

@@ -1,0 +1,52 @@
+"""Synthetic digital compass (magnetometer).
+
+Section 2.2.2: compasses give absolute heading but "can become extremely
+noisy in some indoor environments" due to magnetic influence.  The model
+adds white heading noise plus, when ``magnetic_disturbance`` is enabled
+(the indoor case), a slowly wandering bias that can reach tens of
+degrees -- exactly the failure mode the paper's compass+gyro fusion
+(:mod:`repro.core.heading`) is designed to ride out.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Sensor, SensorReading
+from .trajectory import MotionScript
+
+__all__ = ["Compass", "COMPASS_RATE_HZ"]
+
+#: Typical smartphone magnetometer report rate.
+COMPASS_RATE_HZ = 25.0
+
+_NOISE_SIGMA_DEG = 3.0
+_DISTURBANCE_SIGMA_DEG = 25.0
+_DISTURBANCE_TAU_S = 8.0
+
+
+class Compass(Sensor):
+    """Absolute-heading sensor; ``values`` = (heading_deg,)."""
+
+    def __init__(
+        self,
+        script: MotionScript,
+        seed: int = 0,
+        rate_hz: float = COMPASS_RATE_HZ,
+        magnetic_disturbance: bool = False,
+    ) -> None:
+        super().__init__(script, rate_hz, seed)
+        self._disturbed = magnetic_disturbance
+        self._bias = 0.0
+        self._rho = math.exp(-self.period_s / _DISTURBANCE_TAU_S)
+
+    def _read(self, time_s: float) -> SensorReading:
+        state = self._script.state_at(time_s)
+        heading = state.heading_deg + self._rng.normal(0.0, _NOISE_SIGMA_DEG)
+        if self._disturbed:
+            innov = math.sqrt(1.0 - self._rho * self._rho) * _DISTURBANCE_SIGMA_DEG
+            self._bias = self._rho * self._bias + self._rng.normal(0.0, innov)
+            heading += self._bias
+        return SensorReading(time_s=time_s, values=(heading % 360.0,))

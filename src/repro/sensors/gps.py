@@ -1,0 +1,98 @@
+"""Synthetic GPS receiver.
+
+Section 2.2 of the paper uses GPS outdoors for movement, speed, heading
+and position hints, and notes "GPS does not work indoors" -- the loss of
+lock is itself used as an outdoor/indoor hint (Section 5.3).  This model
+reproduces those behaviours: readings carry a fix flag that is False for
+indoor script segments (after a short time-to-fix when emerging outdoors),
+position error of a few metres, speed noise, and heading that is only
+meaningful while moving.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Sensor, SensorReading
+from .trajectory import MotionScript
+
+__all__ = ["GpsReading", "Gps", "GPS_RATE_HZ"]
+
+#: Commodity GPS chips report at 1 Hz.
+GPS_RATE_HZ = 1.0
+
+_POSITION_SIGMA_M = 4.0
+_SPEED_SIGMA_MPS = 0.3
+_HEADING_SIGMA_DEG = 4.0
+_TIME_TO_FIX_S = 3.0
+#: Below this speed GPS heading is dominated by position jitter (useless).
+_MIN_HEADING_SPEED_MPS = 0.5
+
+
+class GpsReading(SensorReading):
+    """A GPS report; ``values`` = (x_m, y_m, speed_mps, heading_deg)."""
+
+    @property
+    def x_m(self) -> float:
+        return self.values[0]
+
+    @property
+    def y_m(self) -> float:
+        return self.values[1]
+
+    @property
+    def speed_mps(self) -> float:
+        return self.values[2]
+
+    @property
+    def heading_deg(self) -> float:
+        return self.values[3]
+
+    @property
+    def has_fix(self) -> bool:
+        return self.valid
+
+
+class Gps(Sensor):
+    """1 Hz GPS driven by a motion script.
+
+    The fix flag tracks the script's ``outdoor`` attribute with a
+    time-to-first-fix delay, so code that keys off GPS lock (e.g. the
+    outdoor OFDM hint in :mod:`repro.phy.ofdm`) sees realistic latency.
+    """
+
+    def __init__(self, script: MotionScript, seed: int = 0,
+                 rate_hz: float = GPS_RATE_HZ) -> None:
+        super().__init__(script, rate_hz, seed)
+        self._outdoor_since: float | None = None
+        self._last_time = -math.inf
+
+    def _read(self, time_s: float) -> GpsReading:
+        state = self._script.state_at(time_s)
+        # Track how long we have had a sky view (time-to-first-fix).
+        if state.outdoor:
+            if self._outdoor_since is None or time_s < self._last_time:
+                self._outdoor_since = time_s
+        else:
+            self._outdoor_since = None
+        self._last_time = time_s
+
+        has_fix = (
+            self._outdoor_since is not None
+            and time_s - self._outdoor_since >= _TIME_TO_FIX_S - 1e-9
+        )
+        if not has_fix:
+            return GpsReading(time_s=time_s, values=(0.0, 0.0, 0.0, 0.0), valid=False)
+
+        rng = self._rng
+        x = state.x_m + rng.normal(0.0, _POSITION_SIGMA_M)
+        y = state.y_m + rng.normal(0.0, _POSITION_SIGMA_M)
+        speed = max(0.0, state.speed_mps + rng.normal(0.0, _SPEED_SIGMA_MPS))
+        if state.speed_mps >= _MIN_HEADING_SPEED_MPS:
+            heading = (state.heading_deg + rng.normal(0.0, _HEADING_SIGMA_DEG)) % 360.0
+        else:
+            # Heading from a (near-)stationary GPS is position-jitter noise.
+            heading = rng.uniform(0.0, 360.0)
+        return GpsReading(time_s=time_s, values=(x, y, speed, heading))

@@ -1,0 +1,63 @@
+"""Synthetic gyroscope (angular-rate sensor).
+
+Section 2.2.2 proposes using the gyroscope "in conjunction with the
+compass to produce accurate headings" where magnetic noise corrupts the
+compass.  A MEMS gyro reports angular rate with white noise plus a slow
+bias drift; integrating it gives smooth *relative* heading that drifts
+over minutes.  The fusion filter in :mod:`repro.core.heading` combines the
+two sources.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Sensor, SensorReading
+from .trajectory import MotionScript
+
+__all__ = ["Gyroscope", "GYRO_RATE_HZ"]
+
+#: Typical smartphone gyro report rate.
+GYRO_RATE_HZ = 100.0
+
+_RATE_NOISE_DPS = 0.4
+_BIAS_WALK_DPS_PER_SQRT_S = 0.05
+
+
+class Gyroscope(Sensor):
+    """Z-axis angular-rate sensor; ``values`` = (rate_dps,).
+
+    Positive rate means heading increasing (clockwise from north),
+    matching the trajectory convention.
+    """
+
+    def __init__(self, script: MotionScript, seed: int = 0,
+                 rate_hz: float = GYRO_RATE_HZ) -> None:
+        super().__init__(script, rate_hz, seed)
+        self._bias = 0.0
+        self._bias_step = _BIAS_WALK_DPS_PER_SQRT_S * math.sqrt(self.period_s)
+        self._prev_heading: float | None = None
+        self._prev_time: float | None = None
+
+    def _read(self, time_s: float) -> SensorReading:
+        state = self._script.state_at(time_s)
+        if self._prev_heading is None or self._prev_time is None or \
+                time_s <= self._prev_time:
+            true_rate = 0.0
+        else:
+            dh = _wrap_degrees(state.heading_deg - self._prev_heading)
+            true_rate = dh / (time_s - self._prev_time)
+        self._prev_heading = state.heading_deg
+        self._prev_time = time_s
+
+        self._bias += self._rng.normal(0.0, self._bias_step)
+        rate = true_rate + self._bias + self._rng.normal(0.0, _RATE_NOISE_DPS)
+        return SensorReading(time_s=time_s, values=(rate,))
+
+
+def _wrap_degrees(delta: float) -> float:
+    """Wrap an angle difference into (-180, 180]."""
+    wrapped = (delta + 180.0) % 360.0 - 180.0
+    return 180.0 if wrapped == -180.0 else wrapped

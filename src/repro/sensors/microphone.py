@@ -1,0 +1,75 @@
+"""Synthetic microphone for the environment-activity hint (Section 5.6).
+
+A static node surrounded by moving people or cars experiences channel
+dynamics similar to its own motion; the paper proposes measuring
+*noise variation* with the microphone as a proxy for nearby activity.
+The model emits an ambient sound level (dB SPL-like) whose variance
+scales with an ``activity`` parameter attached to the script segments
+via :class:`Microphone`'s ``activity_fn``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .base import Sensor, SensorReading
+from .trajectory import MotionScript
+
+__all__ = ["Microphone", "MIC_RATE_HZ", "noise_variation"]
+
+#: Level-meter report rate (per-frame RMS, not raw audio).
+MIC_RATE_HZ = 20.0
+
+_QUIET_FLOOR_DB = 38.0
+_QUIET_SIGMA_DB = 0.8
+_ACTIVE_SIGMA_DB = 6.0
+_ACTIVE_LIFT_DB = 12.0
+
+
+class Microphone(Sensor):
+    """Ambient level sensor; ``values`` = (level_db,).
+
+    ``activity_fn(time_s) -> float in [0, 1]`` describes how busy the
+    surroundings are; default keys off the script's own movement (a
+    moving device also hears more varied sound).
+    """
+
+    def __init__(
+        self,
+        script: MotionScript,
+        seed: int = 0,
+        rate_hz: float = MIC_RATE_HZ,
+        activity_fn: Callable[[float], float] | None = None,
+    ) -> None:
+        super().__init__(script, rate_hz, seed)
+        if activity_fn is None:
+            activity_fn = lambda t: 1.0 if script.moving_at(t) else 0.0
+        self._activity_fn = activity_fn
+
+    def _read(self, time_s: float) -> SensorReading:
+        activity = min(1.0, max(0.0, self._activity_fn(time_s)))
+        sigma = _QUIET_SIGMA_DB + activity * (_ACTIVE_SIGMA_DB - _QUIET_SIGMA_DB)
+        level = (
+            _QUIET_FLOOR_DB
+            + activity * _ACTIVE_LIFT_DB
+            + self._rng.normal(0.0, sigma)
+        )
+        return SensorReading(time_s=time_s, values=(level,))
+
+
+def noise_variation(levels_db: np.ndarray, window: int = 40) -> np.ndarray:
+    """Rolling standard deviation of mic levels -- the activity metric.
+
+    High variation correlates with nearby movement (Section 5.6) and is
+    what :class:`repro.core.hints.EnvironmentActivityHint` thresholds.
+    """
+    levels = np.asarray(levels_db, dtype=np.float64)
+    if window <= 1 or len(levels) == 0:
+        return np.zeros_like(levels)
+    out = np.empty_like(levels)
+    for i in range(len(levels)):
+        lo = max(0, i - window + 1)
+        out[i] = levels[lo:i + 1].std()
+    return out

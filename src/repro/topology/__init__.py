@@ -1,0 +1,45 @@
+"""Topology maintenance (Chapter 4): probing, delivery-probability
+estimation, the hint-aware adaptive prober, and ETX mis-selection
+analysis."""
+
+from .probing import (
+    PROBE_RATE_FULL_HZ,
+    PROBE_WINDOW_PACKETS,
+    DeliveryEstimator,
+    actual_delivery_series,
+    estimation_errors,
+    probe_outcomes,
+    subsampled_estimate,
+)
+from .error import (
+    DEFAULT_PROBE_RATES_HZ,
+    ErrorPoint,
+    error_vs_probing_rate,
+    min_rate_for_error,
+    probing_rate_ratio,
+)
+from .adaptive import AdaptiveProber, FixedRateProber, ProbingRun, run_probing
+from .etx import MisselectionAnalysis, analyse_misselection, etx, route_etx
+
+__all__ = [
+    "PROBE_RATE_FULL_HZ",
+    "PROBE_WINDOW_PACKETS",
+    "DeliveryEstimator",
+    "probe_outcomes",
+    "actual_delivery_series",
+    "subsampled_estimate",
+    "estimation_errors",
+    "DEFAULT_PROBE_RATES_HZ",
+    "ErrorPoint",
+    "error_vs_probing_rate",
+    "min_rate_for_error",
+    "probing_rate_ratio",
+    "FixedRateProber",
+    "AdaptiveProber",
+    "ProbingRun",
+    "run_probing",
+    "etx",
+    "route_etx",
+    "MisselectionAnalysis",
+    "analyse_misselection",
+]

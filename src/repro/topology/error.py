@@ -1,0 +1,105 @@
+"""Error-versus-probing-rate measurement (Figures 4-2/4-3) and the
+factor-20 probing-cost headline.
+
+Aggregates estimation errors across trace sets for a sweep of probing
+rates, and finds the cheapest rate meeting an error target, so the
+static/mobile required-rate ratio (the paper's "factor-of-20
+difference") can be computed directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel.trace import ChannelTrace
+from .probing import PROBE_RATE_FULL_HZ, PROBE_WINDOW_PACKETS, estimation_errors, probe_outcomes
+
+__all__ = [
+    "DEFAULT_PROBE_RATES_HZ",
+    "ErrorPoint",
+    "error_vs_probing_rate",
+    "min_rate_for_error",
+    "probing_rate_ratio",
+]
+
+#: The sweep the paper plots (x axes of Figures 4-2 and 4-3).
+DEFAULT_PROBE_RATES_HZ: tuple[float, ...] = (
+    0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0,
+)
+
+
+@dataclass(frozen=True)
+class ErrorPoint:
+    """Mean/std of |observed - actual| at one probing rate."""
+
+    probe_rate_hz: float
+    mean_error: float
+    std_error: float
+    n_samples: int
+
+
+def error_vs_probing_rate(
+    traces: list[ChannelTrace],
+    probe_rates_hz: tuple[float, ...] = DEFAULT_PROBE_RATES_HZ,
+    rate_index: int = 0,
+    window: int = PROBE_WINDOW_PACKETS,
+) -> list[ErrorPoint]:
+    """The Figure 4-2/4-3 curve for a set of traces.
+
+    The paper aggregates all static traces into one set and all mobile
+    traces into another; pass each set separately.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    points = []
+    outcome_sets = [probe_outcomes(t, rate_index) for t in traces]
+    for rate in probe_rates_hz:
+        errors = np.concatenate(
+            [
+                estimation_errors(o, rate, PROBE_RATE_FULL_HZ, window)
+                for o in outcome_sets
+            ]
+        )
+        if len(errors) == 0:
+            raise ValueError(f"traces too short for probing rate {rate}")
+        points.append(
+            ErrorPoint(
+                probe_rate_hz=rate,
+                mean_error=float(errors.mean()),
+                std_error=float(errors.std()),
+                n_samples=len(errors),
+            )
+        )
+    return points
+
+
+def min_rate_for_error(
+    points: list[ErrorPoint], target_error: float
+) -> float | None:
+    """Cheapest probing rate whose mean error is within the target.
+
+    Returns None when even the fastest measured rate misses the target.
+    """
+    eligible = [p for p in points if p.mean_error <= target_error]
+    if not eligible:
+        return None
+    return min(p.probe_rate_hz for p in eligible)
+
+
+def probing_rate_ratio(
+    static_points: list[ErrorPoint],
+    mobile_points: list[ErrorPoint],
+    target_error: float = 0.05,
+) -> float | None:
+    """Mobile/static required-probing-rate ratio at an error target.
+
+    The paper's headline: at 5% error the mobile case needs 10 probes/s
+    against the static case's 0.5 probes/s -- a factor of 20.
+    """
+    static_rate = min_rate_for_error(static_points, target_error)
+    mobile_rate = min_rate_for_error(mobile_points, target_error)
+    if static_rate is None or mobile_rate is None:
+        return None
+    return mobile_rate / static_rate

@@ -1,0 +1,83 @@
+"""ETX and the cost of mis-estimated link quality (Section 4.2 analysis).
+
+The paper closes Chapter 4 with a worked example: a node picking
+next-hops by ETX (expected transmission count, ``1/p`` ignoring the
+reverse direction) chooses the wrong link when the estimation error
+``delta`` satisfies ``p2 + delta >= p1 - delta``.  The penalty is the
+extra expected transmissions ``1/p2 - 1/p1``; the overhead relative to
+the optimal ``1/p1`` is ``p1/p2 - 1``.
+
+(The paper's text quotes "5/12 = 42%" for p1=0.8, p2=0.6, which is the
+*absolute penalty* 1/0.6 - 1/0.8 = 5/12 read as a percentage; the
+relative overhead by its own formula is p1/p2 - 1 = 33%.  Both numbers
+are exposed here; EXPERIMENTS.md records the discrepancy.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["etx", "route_etx", "MisselectionAnalysis", "analyse_misselection"]
+
+
+def etx(delivery_prob: float) -> float:
+    """Expected transmissions for one delivery at delivery probability p.
+
+    Forward direction only, as in the paper's analysis (the ACK's
+    reverse-link loss is ignored).
+
+    >>> etx(0.5)
+    2.0
+    """
+    if not 0.0 < delivery_prob <= 1.0:
+        raise ValueError("delivery probability must be in (0, 1]")
+    return 1.0 / delivery_prob
+
+
+def route_etx(delivery_probs: list[float]) -> float:
+    """ETX of a multi-hop route: sum of per-hop ETX values."""
+    if not delivery_probs:
+        raise ValueError("a route needs at least one hop")
+    return float(sum(etx(p) for p in delivery_probs))
+
+
+@dataclass(frozen=True)
+class MisselectionAnalysis:
+    """Outcome of the two-link ETX mis-selection example."""
+
+    p1: float
+    p2: float
+    delta: float
+    #: Can the error flip the choice (p2 + delta >= p1 - delta)?
+    can_pick_wrong: bool
+    #: Extra transmissions if wrong: 1/p2 - 1/p1.
+    penalty_tx: float
+    #: Relative overhead: p1/p2 - 1.
+    overhead: float
+
+
+def analyse_misselection(p1: float, p2: float, delta: float) -> MisselectionAnalysis:
+    """The Section 4.2 worked example for arbitrary (p1, p2, delta).
+
+    >>> a = analyse_misselection(0.8, 0.6, 0.25)
+    >>> a.can_pick_wrong
+    True
+    >>> round(a.penalty_tx, 4)   # 5/12
+    0.4167
+    >>> round(a.overhead, 4)     # p1/p2 - 1 = 1/3
+    0.3333
+    """
+    if not 0.0 < p2 <= p1 <= 1.0:
+        raise ValueError("need 0 < p2 <= p1 <= 1")
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    return MisselectionAnalysis(
+        p1=p1,
+        p2=p2,
+        delta=delta,
+        can_pick_wrong=(p2 + delta >= p1 - delta),
+        penalty_tx=1.0 / p2 - 1.0 / p1,
+        overhead=p1 / p2 - 1.0,
+    )

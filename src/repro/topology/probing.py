@@ -1,0 +1,156 @@
+"""Probing and delivery-probability estimation (Chapter 4 measurement).
+
+The paper's setup: the sender probes at an essentially continuous
+200 probes/s at 6 Mb/s; the *actual* delivery probability is computed
+over a sliding window of 10 packets of that full stream; lower probing
+rates are evaluated by sub-sampling the same stream and aggregating the
+delivery probability over 10 sub-sampled probes.  The estimation error
+is ``|observed - actual|`` wherever both are defined.
+
+This module turns a :class:`~repro.channel.trace.ChannelTrace` (or any
+boolean outcome series) into those quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel.trace import ChannelTrace
+
+__all__ = [
+    "PROBE_RATE_FULL_HZ",
+    "PROBE_WINDOW_PACKETS",
+    "probe_outcomes",
+    "actual_delivery_series",
+    "subsampled_estimate",
+    "estimation_errors",
+    "DeliveryEstimator",
+]
+
+#: The paper's "essentially continuous" probe stream.
+PROBE_RATE_FULL_HZ = 200.0
+#: Sliding window length, in probes, for a delivery-probability sample.
+PROBE_WINDOW_PACKETS = 10
+
+
+def probe_outcomes(
+    trace: ChannelTrace,
+    rate_index: int = 0,
+    probe_rate_hz: float = PROBE_RATE_FULL_HZ,
+) -> np.ndarray:
+    """Boolean success series of probes sent at a fixed rate.
+
+    Probe i is sent at time ``i / probe_rate_hz``; its fate is the
+    trace's fate for that slot at ``rate_index`` (the paper probes at
+    6 Mb/s, index 0).
+    """
+    n = int(trace.duration_s * probe_rate_hz)
+    times = np.arange(n) / probe_rate_hz
+    slots = np.minimum((times / trace.slot_s).astype(int), trace.n_slots - 1)
+    return trace.fates[slots, rate_index]
+
+
+def actual_delivery_series(
+    outcomes: np.ndarray, window: int = PROBE_WINDOW_PACKETS
+) -> np.ndarray:
+    """Ground-truth delivery probability: sliding mean of the full stream.
+
+    ``out[i]`` is the delivery probability over the ``window`` probes
+    ending at probe ``i`` (NaN during warm-up).
+    """
+    outcomes = np.asarray(outcomes, dtype=np.float64)
+    out = np.full(len(outcomes), np.nan)
+    if len(outcomes) < window:
+        return out
+    kernel = np.ones(window) / window
+    out[window - 1 :] = np.convolve(outcomes, kernel, mode="valid")
+    return out
+
+
+def subsampled_estimate(
+    outcomes: np.ndarray,
+    probe_rate_hz: float,
+    full_rate_hz: float = PROBE_RATE_FULL_HZ,
+    window: int = PROBE_WINDOW_PACKETS,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Delivery estimate a prober at ``probe_rate_hz`` would compute.
+
+    Sub-samples the full outcome stream at the lower rate and averages
+    each consecutive ``window`` sub-sampled probes.
+
+    Returns ``(sample_times_s, estimates)``: one estimate per received
+    window, timestamped at the window's last probe.
+    """
+    if probe_rate_hz <= 0 or probe_rate_hz > full_rate_hz:
+        raise ValueError("probe rate must be in (0, full rate]")
+    stride = full_rate_hz / probe_rate_hz
+    picks = (np.arange(0, len(outcomes) / stride) * stride).astype(int)
+    picks = picks[picks < len(outcomes)]
+    sub = np.asarray(outcomes, dtype=np.float64)[picks]
+    if len(sub) < window:
+        return np.array([]), np.array([])
+    kernel = np.ones(window) / window
+    estimates = np.convolve(sub, kernel, mode="valid")
+    end_indices = picks[window - 1 :]
+    times = end_indices / full_rate_hz
+    return times, estimates
+
+
+def estimation_errors(
+    outcomes: np.ndarray,
+    probe_rate_hz: float,
+    full_rate_hz: float = PROBE_RATE_FULL_HZ,
+    window: int = PROBE_WINDOW_PACKETS,
+) -> np.ndarray:
+    """``|observed - actual|`` at each sub-sampled estimate point.
+
+    This is the per-sample error whose mean and standard deviation the
+    paper plots against probing rate (Figures 4-2 and 4-3).
+    """
+    actual = actual_delivery_series(outcomes, window)
+    times, estimates = subsampled_estimate(outcomes, probe_rate_hz, full_rate_hz, window)
+    if len(times) == 0:
+        return np.array([])
+    indices = np.minimum(
+        (times * full_rate_hz).round().astype(int), len(actual) - 1
+    )
+    truth = actual[indices]
+    mask = ~np.isnan(truth)
+    return np.abs(estimates[mask] - truth[mask])
+
+
+@dataclass
+class DeliveryEstimator:
+    """Incremental windowed delivery-probability estimator.
+
+    What a running node computes from the probes it actually receives
+    hears about; used by the adaptive prober (Section 4.2).
+    """
+
+    window: int = PROBE_WINDOW_PACKETS
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be at least 1")
+        self._outcomes: list[bool] = []
+
+    def record(self, success: bool) -> None:
+        self._outcomes.append(bool(success))
+        if len(self._outcomes) > self.window:
+            self._outcomes.pop(0)
+
+    @property
+    def n_recorded(self) -> int:
+        return len(self._outcomes)
+
+    @property
+    def estimate(self) -> float | None:
+        """Current delivery probability, or None before any probe."""
+        if not self._outcomes:
+            return None
+        return float(np.mean(self._outcomes))
+
+    def reset(self) -> None:
+        self._outcomes.clear()

@@ -1,0 +1,45 @@
+"""Vehicular mesh study (Section 5.1): road networks, vehicle mobility,
+link durations (Table 5.1), the CTE metric and route selection."""
+
+from .roadnet import grid_road_network, node_position, segment_heading_deg
+from .mobility import VehicleNetwork, VehicleState, VehicleTrace, simulate_vehicles
+from .links import (
+    LINK_RANGE_M,
+    LinkRecord,
+    TABLE_5_1_BUCKETS,
+    extract_links,
+    median_duration_by_bucket,
+)
+from .cte import cte, link_cte, route_cte
+from .routing import (
+    RouteStabilityResult,
+    compare_route_stability,
+    connectivity_graph,
+    cte_route,
+    min_hop_route,
+    route_lifetime_s,
+)
+
+__all__ = [
+    "grid_road_network",
+    "node_position",
+    "segment_heading_deg",
+    "VehicleNetwork",
+    "VehicleState",
+    "VehicleTrace",
+    "simulate_vehicles",
+    "LINK_RANGE_M",
+    "LinkRecord",
+    "TABLE_5_1_BUCKETS",
+    "extract_links",
+    "median_duration_by_bucket",
+    "cte",
+    "link_cte",
+    "route_cte",
+    "connectivity_graph",
+    "cte_route",
+    "min_hop_route",
+    "route_lifetime_s",
+    "RouteStabilityResult",
+    "compare_route_stability",
+]

@@ -1,0 +1,49 @@
+"""The Connection Time Estimate metric (Section 5.1.1).
+
+"We propose a metric called the connection time estimate (CTE), which is
+the inverse of the difference in heading between the two nodes sharing a
+link, where difference in heading is a value between 0 and 180 degrees.
+The CTE value for a multi-hop route may be estimated as the minimum CTE
+value over all hops."
+
+Each node appends a heading hint to its neighbour probes; a pair
+estimates its connection time from the heading difference -- smaller
+difference (road-constrained motion) predicts longer co-travel.
+"""
+
+from __future__ import annotations
+
+from ..core.hints import HeadingHint, heading_difference_deg
+
+__all__ = ["cte", "link_cte", "route_cte"]
+
+#: Guard against division by zero for perfectly aligned headings: treat
+#: differences below this as this value (an ~equal "very long" estimate).
+_MIN_DIFF_DEG = 1.0
+
+
+def cte(heading_diff_deg: float) -> float:
+    """CTE of a link from its heading difference in [0, 180].
+
+    >>> cte(10.0) > cte(90.0)
+    True
+    """
+    if not 0.0 <= heading_diff_deg <= 180.0:
+        raise ValueError("heading difference must be in [0, 180]")
+    return 1.0 / max(heading_diff_deg, _MIN_DIFF_DEG)
+
+
+def link_cte(a: HeadingHint, b: HeadingHint) -> float:
+    """CTE between two nodes from their exchanged heading hints."""
+    return cte(heading_difference_deg(a.heading_deg, b.heading_deg))
+
+
+def route_cte(heading_diffs_deg: list[float]) -> float:
+    """Route CTE: the minimum link CTE over all hops.
+
+    >>> route_cte([5.0, 20.0]) == cte(20.0)
+    True
+    """
+    if not heading_diffs_deg:
+        raise ValueError("a route needs at least one hop")
+    return min(cte(d) for d in heading_diffs_deg)

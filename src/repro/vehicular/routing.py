@@ -1,0 +1,240 @@
+"""Hint-aware route selection in vehicular meshes (Section 5.1).
+
+The paper hypothesises that "selecting routes with longest expected
+connection time is a good idea in these highly dynamic networks" and
+evaluates the CTE metric's predictive power (Table 5.1).  This module
+completes the loop into an actual routing comparison:
+
+* build the connectivity graph of a vehicle network at a route-selection
+  instant (links = pairs within 100 m);
+* **hint-free** selection: a minimum-hop route (ties broken at random) --
+  what a probe-count protocol with no mobility information would pick;
+* **CTE-aware** selection: among routes, maximise the route CTE (the
+  minimum link CTE), i.e. a widest-path / maximin problem over heading
+  differences, computed by binary search over a heading-difference
+  threshold;
+* measure each route's *lifetime*: how long until any of its links
+  breaks in the subsequent trace seconds.
+
+The headline (Section 1.1): hint-aware selection increases route
+stability by a factor of 4 to 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..core.hints import heading_difference_deg
+from .links import LINK_RANGE_M
+from .mobility import VehicleNetwork
+
+__all__ = [
+    "connectivity_graph",
+    "route_lifetime_s",
+    "min_hop_route",
+    "cte_route",
+    "RouteStabilityResult",
+    "compare_route_stability",
+]
+
+
+def connectivity_graph(
+    network: VehicleNetwork, t: int, range_m: float = LINK_RANGE_M
+) -> nx.Graph:
+    """Graph of live links at second ``t``; edges carry heading_diff_deg."""
+    pos = network.positions_at(t)
+    headings = network.headings_at(t)
+    n = len(pos)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    diff = pos[:, None, :] - pos[None, :, :]
+    dist2 = (diff ** 2).sum(axis=2)
+    within = dist2 <= range_m ** 2
+    for a in range(n):
+        for b in range(a + 1, n):
+            if within[a, b]:
+                graph.add_edge(
+                    a, b,
+                    heading_diff_deg=heading_difference_deg(headings[a], headings[b]),
+                )
+    return graph
+
+
+def route_lifetime_s(
+    network: VehicleNetwork, route: list[int], start_t: int,
+    range_m: float = LINK_RANGE_M,
+) -> int:
+    """Seconds from ``start_t`` until any link of the route breaks.
+
+    Truncated at the end of the trace (like any finite measurement).
+    """
+    if len(route) < 2:
+        raise ValueError("a route needs at least two nodes")
+    lifetime = 0
+    for t in range(start_t + 1, network.duration_s):
+        pos = network.positions_at(t)
+        intact = all(
+            ((pos[a] - pos[b]) ** 2).sum() <= range_m ** 2
+            for a, b in zip(route, route[1:])
+        )
+        if not intact:
+            break
+        lifetime += 1
+    return lifetime
+
+
+def min_hop_route(
+    graph: nx.Graph, src: int, dst: int, rng: np.random.Generator
+) -> list[int] | None:
+    """Hint-free baseline: one of the minimum-hop routes, at random.
+
+    Randomising among shortest paths models a protocol whose tie-break
+    (probe arrival order) is arbitrary with respect to mobility.
+    """
+    if not graph.has_node(src) or not graph.has_node(dst):
+        return None
+    try:
+        length = nx.shortest_path_length(graph, src, dst)
+    except nx.NetworkXNoPath:
+        return None
+    paths = list(nx.all_shortest_paths(graph, src, dst))
+    if len(paths) > 16:
+        # all_shortest_paths can be huge in dense graphs; sample.
+        paths = [paths[i] for i in rng.choice(len(paths), 16, replace=False)]
+    return list(paths[int(rng.integers(len(paths)))])
+
+
+def cte_route(
+    graph: nx.Graph, src: int, dst: int, max_hops: int | None = None
+) -> list[int] | None:
+    """CTE-aware selection: maximise the route's minimum link CTE.
+
+    Equivalent to minimising the maximum heading difference along the
+    route; solved by bisecting a difference threshold and testing
+    connectivity on the filtered graph, then taking the shortest path
+    within the best threshold (shorter routes preferred among equals).
+
+    ``max_hops`` bounds the search to routes of near-minimal length: a
+    maximin objective alone happily builds sprawling ten-hop chains of
+    perfectly aligned links, and every extra hop is another chance for
+    the route to break.  A practical protocol trades alignment against
+    hop count; by default routes may use at most one hop more than the
+    minimum.
+    """
+    if not graph.has_node(src) or not graph.has_node(dst):
+        return None
+    if not nx.has_path(graph, src, dst):
+        return None
+    if max_hops is None:
+        max_hops = nx.shortest_path_length(graph, src, dst) + 1
+
+    def reachable_within(filtered: nx.Graph) -> bool:
+        if not (filtered.has_node(src) and filtered.has_node(dst)):
+            return False
+        try:
+            return nx.shortest_path_length(filtered, src, dst) <= max_hops
+        except nx.NetworkXNoPath:
+            return False
+
+    diffs = sorted({d["heading_diff_deg"] for *_, d in graph.edges(data=True)})
+    lo, hi = 0, len(diffs) - 1
+    best_threshold = diffs[-1]
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        threshold = diffs[mid]
+        filtered = nx.Graph(
+            (a, b, d)
+            for a, b, d in graph.edges(data=True)
+            if d["heading_diff_deg"] <= threshold
+        )
+        if reachable_within(filtered):
+            best_threshold = threshold
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    final = nx.Graph(
+        (a, b, d)
+        for a, b, d in graph.edges(data=True)
+        if d["heading_diff_deg"] <= best_threshold
+    )
+    return nx.shortest_path(final, src, dst)
+
+
+@dataclass(frozen=True)
+class RouteStabilityResult:
+    """Outcome of the CTE vs hint-free route stability comparison."""
+
+    cte_lifetimes_s: np.ndarray
+    minhop_lifetimes_s: np.ndarray
+
+    @property
+    def median_cte_s(self) -> float:
+        return float(np.median(self.cte_lifetimes_s))
+
+    @property
+    def median_minhop_s(self) -> float:
+        return float(np.median(self.minhop_lifetimes_s))
+
+    @property
+    def stability_factor(self) -> float:
+        """Headline ratio: hint-aware / hint-free median route lifetime."""
+        if self.median_minhop_s <= 0:
+            return float("inf")
+        return self.median_cte_s / self.median_minhop_s
+
+
+def compare_route_stability(
+    networks: list[VehicleNetwork],
+    n_pairs_per_network: int = 40,
+    selection_time_s: int = 30,
+    min_hops: int = 2,
+    max_hops: int = 4,
+    seed: int = 0,
+    range_m: float = LINK_RANGE_M,
+) -> RouteStabilityResult:
+    """Pick routes both ways over many networks; measure lifetimes.
+
+    Pairs are sampled among nodes that are connected at ``min_hops`` to
+    ``max_hops`` at the selection instant (vehicular meshes route over a
+    few hops to nearby infrastructure, Section 5.1 -- a ten-hop route
+    across town is not a realistic candidate for either strategy), so
+    both strategies route between the same endpoints.
+    """
+    rng = np.random.default_rng(seed)
+    cte_lifetimes: list[int] = []
+    minhop_lifetimes: list[int] = []
+    for network in networks:
+        graph = connectivity_graph(network, selection_time_s, range_m)
+        nodes = list(graph.nodes)
+        found = 0
+        attempts = 0
+        while found < n_pairs_per_network and attempts < n_pairs_per_network * 30:
+            attempts += 1
+            src, dst = rng.choice(nodes, size=2, replace=False)
+            src, dst = int(src), int(dst)
+            try:
+                hops = nx.shortest_path_length(graph, src, dst)
+            except nx.NetworkXNoPath:
+                continue
+            if not min_hops <= hops <= max_hops:
+                continue
+            baseline = min_hop_route(graph, src, dst, rng)
+            aware = cte_route(graph, src, dst)
+            if baseline is None or aware is None:
+                continue
+            minhop_lifetimes.append(
+                route_lifetime_s(network, baseline, selection_time_s, range_m)
+            )
+            cte_lifetimes.append(
+                route_lifetime_s(network, aware, selection_time_s, range_m)
+            )
+            found += 1
+    if not cte_lifetimes:
+        raise RuntimeError("no routable pairs found; increase density or duration")
+    return RouteStabilityResult(
+        cte_lifetimes_s=np.asarray(cte_lifetimes, dtype=np.float64),
+        minhop_lifetimes_s=np.asarray(minhop_lifetimes, dtype=np.float64),
+    )

@@ -1,0 +1,8 @@
+"""Shared pytest configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: integration tests that simulate whole experiments")

@@ -1,0 +1,90 @@
+"""Loss-lag correlation analysis against known processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    coherence_time_from_losses,
+    conditional_loss_by_lag,
+)
+from repro.analysis.stats import bootstrap_ci, geometric_mean, median
+from repro.channel.gilbert import GilbertElliott
+
+
+class TestConditionalLoss:
+    def test_iid_series_flat(self):
+        """Independent losses: conditional equals unconditional."""
+        losses = np.random.default_rng(0).random(100_000) < 0.1
+        corr = conditional_loss_by_lag(losses)
+        assert np.allclose(corr.conditional_loss, corr.unconditional_loss,
+                           atol=0.02)
+
+    def test_bursty_series_elevated_at_small_lags(self):
+        model = GilbertElliott(0.01, 0.1)
+        losses = model.sample(100_000, seed=1)
+        corr = conditional_loss_by_lag(losses)
+        small = corr.conditional_loss[corr.lags <= 3].mean()
+        assert small > 2.0 * corr.unconditional_loss
+
+    def test_matches_gilbert_closed_form(self):
+        model = GilbertElliott(0.02, 0.15)
+        losses = model.sample(300_000, seed=2)
+        corr = conditional_loss_by_lag(losses, lags=[1, 5, 20])
+        for lag, value in zip(corr.lags, corr.conditional_loss):
+            assert value == pytest.approx(
+                model.conditional_loss_at_lag(int(lag)), abs=0.03)
+
+    def test_lag_to_ms(self):
+        losses = np.zeros(1000, dtype=bool)
+        losses[::10] = True
+        corr = conditional_loss_by_lag(losses, packets_per_s=5000.0)
+        assert corr.lag_to_ms(50) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conditional_loss_by_lag(np.zeros(5, dtype=bool))
+        with pytest.raises(ValueError):
+            conditional_loss_by_lag(np.zeros(100, dtype=bool), lags=[200])
+
+
+class TestCoherenceExtraction:
+    def test_bursty_has_positive_coherence(self):
+        model = GilbertElliott(0.005, 0.05)
+        losses = model.sample(200_000, seed=3)
+        corr = conditional_loss_by_lag(losses, packets_per_s=5000.0)
+        tc = coherence_time_from_losses(corr)
+        assert tc > 0.001  # bursts last ~20 packets = 4 ms
+
+    def test_iid_has_near_zero_coherence(self):
+        losses = np.random.default_rng(4).random(100_000) < 0.1
+        corr = conditional_loss_by_lag(losses, packets_per_s=5000.0)
+        assert coherence_time_from_losses(corr) < 0.002
+
+    def test_lossless_series(self):
+        losses = np.zeros(1000, dtype=bool)
+        corr = conditional_loss_by_lag(losses)
+        assert coherence_time_from_losses(corr) == 0.0
+
+
+class TestStats:
+    def test_bootstrap_contains_mean(self):
+        data = np.random.default_rng(5).normal(10.0, 1.0, 200)
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo < 10.0 < hi
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_geometric_mean_bounded_by_extremes(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9

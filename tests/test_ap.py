@@ -1,0 +1,115 @@
+"""AP policies: association, scheduling, disassociation."""
+
+import numpy as np
+import pytest
+
+from repro.ap import (
+    ApClient,
+    ApInfo,
+    DisassociationConfig,
+    LifetimeScorer,
+    SchedulingScenario,
+    compare_association_policies,
+    run_scheduler,
+    simulate_disassociation,
+    simulate_walks,
+    strongest_signal_policy,
+)
+
+
+class TestAssociation:
+    def test_strongest_signal_picks_nearest(self):
+        aps = [ApInfo("a", 0.0, 0.0), ApInfo("b", 100.0, 0.0)]
+        chosen = strongest_signal_policy(aps, 10.0, 0.0, 90.0, True)
+        assert chosen.bssid == "a"
+
+    def test_scorer_learns_bearing_preference(self):
+        scorer = LifetimeScorer()
+        from repro.ap.association import AssociationEvent
+        # Ahead-of-travel APs live long; behind ones die fast.
+        for _ in range(50):
+            scorer.train(AssociationEvent("x", 60.0, 10.0, 30.0, True))
+            scorer.train(AssociationEvent("y", 5.0, 170.0, 30.0, True))
+        assert scorer.score(10.0, 30.0, True) > scorer.score(170.0, 30.0, True)
+
+    def test_unknown_bucket_scores_global_mean(self):
+        scorer = LifetimeScorer()
+        from repro.ap.association import AssociationEvent
+        scorer.train(AssociationEvent("x", 40.0, 10.0, 30.0, True))
+        assert scorer.score(100.0, 80.0, False) == pytest.approx(40.0)
+
+    def test_hint_aware_beats_strongest_signal(self):
+        comparison = compare_association_policies(seed=0)
+        assert comparison.improvement > 1.05
+
+    def test_walks_produce_events(self):
+        aps = [ApInfo("a", 50.0, 8.0), ApInfo("b", 150.0, 8.0)]
+        events = simulate_walks(aps, strongest_signal_policy, n_walks=50,
+                                seed=1)
+        assert len(events) > 10
+        assert all(e.lifetime_s >= 0 for e in events)
+
+
+class TestScheduling:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            run_scheduler("nonsense")
+
+    def test_static_batch_completes_under_all_policies(self):
+        scenario = SchedulingScenario(static_batch_packets=2000)
+        for policy in ("frame_fair", "time_fair", "hint_aware"):
+            outcome = run_scheduler(policy, scenario)
+            assert outcome.static_delivered == 2000
+            assert outcome.static_done_at_s is not None
+
+    def test_hint_aware_maximises_aggregate(self):
+        scenario = SchedulingScenario()
+        results = {p: run_scheduler(p, scenario)
+                   for p in ("frame_fair", "time_fair", "hint_aware")}
+        assert (results["hint_aware"].aggregate_delivered
+                >= results["frame_fair"].aggregate_delivered)
+        assert (results["hint_aware"].mobile_delivered
+                > results["frame_fair"].mobile_delivered)
+
+    def test_hint_aware_delays_but_finishes_static(self):
+        scenario = SchedulingScenario()
+        fair = run_scheduler("frame_fair", scenario)
+        aware = run_scheduler("hint_aware", scenario)
+        assert aware.static_done_at_s >= fair.static_done_at_s
+        assert aware.static_delivered == fair.static_delivered
+
+
+class TestDisassociation:
+    def test_baseline_reproduces_figure_5_1(self):
+        result = simulate_disassociation(
+            config=DisassociationConfig(seed=0, hint_aware=False))
+        stall = result.stall_duration_s("client1")
+        # "remains low for about 10 seconds"
+        assert 7.0 <= stall <= 13.0
+        # The AP prunes the absent client after the ~10 s timeout.
+        pruned = result.pruned_at_s["client2"]
+        assert pruned is not None and 44.0 <= pruned <= 47.0
+
+    def test_hint_aware_avoids_stall(self):
+        result = simulate_disassociation(
+            config=DisassociationConfig(seed=0, hint_aware=True))
+        assert result.stall_duration_s("client1") <= 1.0
+
+    def test_throughput_recovers_after_prune(self):
+        result = simulate_disassociation(
+            config=DisassociationConfig(seed=0, hint_aware=False))
+        series = result.series("client1")
+        assert series[50:].mean() > 1.8 * series[20:33].mean()
+
+    def test_hint_aware_roughly_doubles_post_departure_rate(self):
+        result = simulate_disassociation(
+            config=DisassociationConfig(seed=0, hint_aware=True))
+        series = result.series("client1")
+        assert series[40:].mean() > 1.7 * series[:30].mean()
+
+    def test_both_clients_share_before_departure(self):
+        result = simulate_disassociation(
+            config=DisassociationConfig(seed=0))
+        c1 = result.series("client1")[:30].mean()
+        c2 = result.series("client2")[:30].mean()
+        assert c1 == pytest.approx(c2, rel=0.1)

@@ -1,0 +1,101 @@
+"""HintBus, HintSeries and the end-to-end HintAwareNode pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.architecture import HintAwareNode, HintBus, HintSeries
+from repro.core.hints import HeadingHint, HintType, MovementHint
+from repro.sensors import mixed_mobility_script, stationary_script
+
+
+class TestHintBus:
+    def test_subscribe_and_publish(self):
+        bus = HintBus()
+        seen = []
+        bus.subscribe(HintType.MOVEMENT, seen.append)
+        bus.publish(MovementHint(1.0, True))
+        assert len(seen) == 1 and seen[0].moving
+
+    def test_type_filtering(self):
+        bus = HintBus()
+        seen = []
+        bus.subscribe(HintType.HEADING, seen.append)
+        bus.publish(MovementHint(1.0, True))
+        assert seen == []
+
+    def test_latest_value(self):
+        bus = HintBus()
+        bus.publish(MovementHint(1.0, True))
+        bus.publish(MovementHint(2.0, False))
+        assert bus.latest(HintType.MOVEMENT).moving is False
+        assert bus.latest(HintType.SPEED) is None
+
+    def test_known_types(self):
+        bus = HintBus()
+        bus.publish(HeadingHint(0.0, 10.0))
+        assert bus.known_types == {HintType.HEADING}
+
+
+class TestHintSeries:
+    def test_step_function_semantics(self):
+        series = HintSeries(np.array([1.0, 2.0, 3.0]),
+                            np.array([True, False, True]))
+        assert series.value_at(0.5, default=False) is False
+        assert series.value_at(1.5) == True
+        assert series.value_at(2.5) == False
+        assert series.value_at(99.0) == True
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            HintSeries(np.array([1.0]), np.array([True, False]))
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            HintSeries(np.array([2.0, 1.0]), np.array([True, False]))
+
+    def test_edges(self):
+        series = HintSeries(np.array([0.0, 1.0, 2.0, 3.0]),
+                            np.array([False, False, True, True]))
+        assert series.edges() == [(0.0, False), (2.0, True)]
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_value_at_matches_naive(self, values):
+        times = np.arange(len(values), dtype=float)
+        series = HintSeries(times, np.array(values))
+        for q in (0.5, 1.5, len(values) - 0.5):
+            expected = values[min(int(q), len(values) - 1)]
+            assert series.value_at(q) == expected
+
+
+class TestHintAwareNode:
+    def test_movement_series_matches_script(self):
+        script = mixed_mobility_script(10.0)
+        node = HintAwareNode(script, seed=0)
+        series = node.movement_hint_series()
+        truth = node.ground_truth_series()
+        agreement = (series.values == truth.values).mean()
+        assert agreement > 0.97
+
+    def test_live_run_publishes_transitions(self):
+        script = mixed_mobility_script(6.0)
+        node = HintAwareNode(script, seed=1)
+        seen = []
+        node.bus.subscribe(HintType.MOVEMENT, seen.append)
+        node.run_live()
+        assert len(seen) >= 1
+        assert seen[0].moving is True
+
+    def test_stationary_node_publishes_nothing(self):
+        node = HintAwareNode(stationary_script(5.0), seed=2)
+        seen = []
+        node.bus.subscribe(HintType.MOVEMENT, seen.append)
+        node.run_live()
+        assert seen == []
+
+    def test_heading_series_produced(self):
+        script = mixed_mobility_script(4.0)
+        node = HintAwareNode(script, seed=3)
+        series = node.heading_hint_series(rate_hz=5.0)
+        assert len(series) == 20

@@ -1,0 +1,100 @@
+"""Rate table and PER models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.ber import BerPerModel, DEFAULT_PER_MODEL, LogisticPerModel
+from repro.channel.rates import N_RATES, RATES_MBPS, RATE_TABLE, rate_index
+
+
+class TestRateTable:
+    def test_eight_rates(self):
+        assert N_RATES == 8
+        assert RATES_MBPS == (6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0)
+
+    def test_indices_sequential(self):
+        assert [r.index for r in RATE_TABLE] == list(range(8))
+
+    def test_thresholds_increase_with_rate(self):
+        thresholds = [r.snr_threshold_db for r in RATE_TABLE]
+        assert thresholds == sorted(thresholds)
+
+    def test_bits_per_symbol_match_rate(self):
+        for rate in RATE_TABLE:
+            # Mb/s = bits-per-symbol / 4 us symbol.
+            assert rate.mbps == pytest.approx(rate.bits_per_symbol / 4.0)
+
+    def test_rate_index_lookup(self):
+        assert rate_index(6) == 0
+        assert rate_index(54) == 7
+        with pytest.raises(ValueError):
+            rate_index(11)
+
+
+class TestLogisticPerModel:
+    def test_per_at_threshold_is_ten_percent(self):
+        model = LogisticPerModel()
+        for r in range(N_RATES):
+            per = model.per(RATE_TABLE[r].snr_threshold_db, r, 1000)
+            assert per == pytest.approx(0.1, abs=1e-6)
+
+    @given(st.floats(-10, 40), st.floats(-10, 40), st.integers(0, 7))
+    def test_monotone_in_snr(self, a, b, r):
+        model = DEFAULT_PER_MODEL
+        lo, hi = min(a, b), max(a, b)
+        assert model.per(lo, r) >= model.per(hi, r) - 1e-12
+
+    @given(st.floats(0, 30), st.integers(0, 7))
+    def test_bigger_packets_fail_more(self, snr, r):
+        model = DEFAULT_PER_MODEL
+        assert model.per(snr, r, 1500) >= model.per(snr, r, 500) - 1e-12
+
+    def test_extreme_snr_saturates(self):
+        model = DEFAULT_PER_MODEL
+        assert model.per(60.0, 0) < 1e-6
+        assert model.per(-30.0, 7) > 1 - 1e-6
+
+    def test_per_array_matches_scalar(self):
+        model = DEFAULT_PER_MODEL
+        snrs = np.linspace(-5, 35, 20)
+        vector = model.per_array(snrs, 4, 1000)
+        scalars = [model.per(s, 4, 1000) for s in snrs]
+        assert np.allclose(vector, scalars)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LogisticPerModel(steepness_per_db=0.0)
+        with pytest.raises(ValueError):
+            LogisticPerModel(per_at_threshold=1.5)
+
+
+class TestBerPerModel:
+    def test_ber_monotone_in_snr(self):
+        model = BerPerModel()
+        for r in range(N_RATES):
+            bers = [model.ber(snr, r) for snr in range(-5, 35, 2)]
+            assert all(a >= b - 1e-15 for a, b in zip(bers, bers[1:]))
+
+    def test_faster_rates_need_more_snr(self):
+        """At a mid SNR the faster modulations have higher BER."""
+        model = BerPerModel()
+        assert model.ber(12.0, 7) > model.ber(12.0, 0)
+
+    def test_per_composition(self):
+        model = BerPerModel()
+        per_small = model.per(15.0, 4, 100)
+        per_large = model.per(15.0, 4, 1500)
+        assert per_large >= per_small
+
+    def test_physically_consistent_with_logistic_thresholds(self):
+        """The BER model's 10%-PER points sit within a few dB of the
+        logistic thresholds -- an independent sanity check."""
+        model = BerPerModel()
+        for rate in RATE_TABLE:
+            snr = rate.snr_threshold_db
+            # Within +-4 dB of the threshold the PER must cross 10%.
+            assert model.per(snr - 4.0, rate.index) > 0.1
+            assert model.per(snr + 4.0, rate.index) < 0.1

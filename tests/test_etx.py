@@ -1,0 +1,47 @@
+"""ETX and the mis-selection analysis of Section 4.2."""
+
+import pytest
+
+from repro.topology.etx import analyse_misselection, etx, route_etx
+
+
+class TestEtx:
+    def test_perfect_link(self):
+        assert etx(1.0) == 1.0
+
+    def test_half_delivery(self):
+        assert etx(0.5) == 2.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            etx(0.0)
+        with pytest.raises(ValueError):
+            etx(1.5)
+
+    def test_route_sums_hops(self):
+        assert route_etx([0.5, 0.5]) == 4.0
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(ValueError):
+            route_etx([])
+
+
+class TestMisselection:
+    def test_paper_worked_example(self):
+        """p1=0.8, p2=0.6, delta=0.25: penalty 5/12, overhead 1/3."""
+        a = analyse_misselection(0.8, 0.6, 0.25)
+        assert a.can_pick_wrong
+        assert a.penalty_tx == pytest.approx(5.0 / 12.0)
+        assert a.overhead == pytest.approx(1.0 / 3.0)
+
+    def test_small_error_cannot_flip(self):
+        a = analyse_misselection(0.9, 0.5, 0.05)
+        assert not a.can_pick_wrong
+
+    def test_boundary_flip(self):
+        a = analyse_misselection(0.7, 0.6, 0.05)
+        assert a.can_pick_wrong  # 0.6+0.05 >= 0.7-0.05
+
+    def test_validates_order(self):
+        with pytest.raises(ValueError):
+            analyse_misselection(0.5, 0.8, 0.1)

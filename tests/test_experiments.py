@@ -1,0 +1,145 @@
+"""Integration tests: small-scale runs of every experiment driver,
+asserting the paper's qualitative claims hold."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    extras,
+    fig2_2,
+    fig3_1,
+    fig3_5,
+    fig4_x,
+    fig5_1,
+    route_stability,
+    table5_1,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestFig2_2:
+    def test_movement_detection_claims(self):
+        result = fig2_2.run(seed=0, still_s=20.0, move_s=15.0)
+        assert result["max_jerk_stationary"] < 3.0
+        assert result["fraction_moving_jerk_above_3"] > 0.5
+        assert result["hint_accuracy"] > 0.97
+        assert result["detection_latency_ms"] < 100.0
+
+
+class TestFig3_1:
+    def test_loss_correlation_claims(self):
+        result = fig3_1.run(seed=0, duration_s=15.0)
+        # Mobile losses are bursty; static losses are not.
+        assert result["mobile_small_lag_ratio"] > 2.0
+        assert result["static_small_lag_ratio"] < 2.0
+        # Coherence time around the paper's 8-10 ms.
+        assert 2.0 < result["mobile_coherence_ms"] < 25.0
+
+
+class TestRateComparisons:
+    @pytest.fixture(scope="class")
+    def mixed(self):
+        return fig3_5.run_comparison("mixed", environments=("office",),
+                                     n_traces=4)
+
+    def test_hint_aware_wins_mixed(self, mixed):
+        norm = mixed["envs"]["office"]["normalised"]
+        assert norm["HintAware"] == pytest.approx(1.0)
+        assert norm["SampleRate"] < 1.0
+        assert norm["RBAR"] < 1.0
+
+    def test_rapidsample_wins_mobile(self):
+        result = fig3_5.run_comparison("mobile", environments=("office",),
+                                       n_traces=4, normalise="RapidSample")
+        norm = result["envs"]["office"]["normalised"]
+        assert all(norm[p] <= 1.05 for p in norm)
+        assert norm["SampleRate"] < 0.95
+
+    def test_samplerate_wins_static(self):
+        result = fig3_5.run_comparison("static", environments=("office",),
+                                       n_traces=6, normalise="RapidSample")
+        norm = result["envs"]["office"]["normalised"]
+        assert norm["SampleRate"] > 1.0
+
+    def test_vehicular_rapidsample_wins(self):
+        result = fig3_5.run_comparison("vehicular",
+                                       environments=("vehicular",),
+                                       n_traces=4, duration_s=10.0,
+                                       tcp=False, normalise="RapidSample")
+        norm = result["envs"]["vehicular"]["normalised"]
+        assert all(norm[p] <= 1.05 for p in norm if p != "RapidSample")
+
+
+class TestChapter4:
+    def test_delivery_fluctuates_when_moving(self):
+        result = fig4_x.run_fig4_1(seed=0)
+        assert (result["jumps_moving_over_20pct"]
+                > 2.0 * result["jumps_static_over_20pct"] or
+                result["jumps_static_over_20pct"] == 0.0)
+
+    def test_mobile_needs_much_faster_probing(self):
+        result = fig4_x.run_fig4_2_4_3(n_traces=4, duration_s=150.0)
+        static_err = [p.mean_error for p in result["static"]]
+        mobile_err = [p.mean_error for p in result["mobile"]]
+        # Mobile error dwarfs static error at every probing rate.
+        assert all(m > 2.0 * s for m, s in zip(mobile_err, static_err))
+        # Mobile error decreases with probing rate.
+        assert mobile_err[-1] < mobile_err[2]
+
+    def test_adaptive_prober_tracks_cheaply(self):
+        import numpy as np
+        results = [fig4_x.run_fig4_6(seed=s) for s in (0, 1, 2)]
+        adaptive = np.mean([r["adaptive_error"] for r in results])
+        fixed = np.mean([r["fixed_error"] for r in results])
+        assert adaptive <= fixed
+        assert all(r["adaptive_probes_per_s"] < 0.6 * r["fast_probes_per_s"]
+                   for r in results)
+
+
+class TestTable5_1:
+    def test_heading_gradient(self):
+        result = table5_1.run(n_networks=2, n_vehicles=60, duration_s=200)
+        medians = result["medians_s"]
+        assert medians["[0,10)"] > medians["[10,20)"] >= medians["[30,180)"]
+        assert result["similar_heading_factor"] > 2.5
+
+
+class TestRouteStability:
+    def test_cte_multiplier(self):
+        result = route_stability.run(n_networks=2, n_vehicles=150,
+                                     duration_s=200, n_pairs_per_network=15)
+        assert result["stability_factor"] > 1.5
+
+
+class TestFig5_1:
+    def test_stall_and_fix(self):
+        result = fig5_1.run(seed=0)
+        assert 7.0 <= result["baseline_stall_s"] <= 13.0
+        assert result["aware_stall_s"] <= 1.0
+
+
+class TestExtras:
+    def test_association(self):
+        assert extras.run_association(seed=0)["improvement"] > 1.05
+
+    def test_scheduling(self):
+        result = extras.run_scheduling(seed=0)
+        assert (result["hint_aware"]["aggregate"]
+                >= result["frame_fair"]["aggregate"])
+
+    def test_phy(self):
+        result = extras.run_phy()
+        assert result["outdoor"]["hinted_gain"] > 1.0
+        assert result["indoor"]["hinted_gain"] > 1.0
+
+    def test_power(self):
+        result = extras.run_power(seed=0)
+        assert result["savings_fraction"] > 0.1
+
+    def test_etx(self):
+        result = extras.run_etx_example()
+        assert result["penalty_tx"] == pytest.approx(5.0 / 12.0)
+
+    def test_microphone(self):
+        assert extras.run_microphone(seed=0)["separation"] > 2.0

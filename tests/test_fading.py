@@ -1,0 +1,126 @@
+"""Jakes/Ricean fading statistics and coherence behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.fading import (
+    CARRIER_HZ_80211A,
+    RiceanFadingProcess,
+    coherence_time_s,
+    doppler_hz,
+    wavelength_m,
+)
+
+
+def half_decorrelation_ms(gains_db, dt_ms=1.0):
+    x = 10 ** (gains_db / 10.0)
+    x = x - x.mean()
+    ac = np.correlate(x, x, "full")[len(x) - 1:]
+    if ac[0] <= 0:
+        return 0.0
+    ac = ac / ac[0]
+    below = np.argmax(ac < 0.5)
+    return float(below * dt_ms)
+
+
+class TestDopplerArithmetic:
+    def test_wavelength(self):
+        assert wavelength_m() == pytest.approx(0.0566, abs=0.001)
+
+    def test_walking_doppler(self):
+        assert doppler_hz(1.4) == pytest.approx(24.8, abs=0.5)
+
+    def test_coherence_at_walking_speed_matches_paper(self):
+        """The paper measures 8-10 ms at walking speed."""
+        tc_ms = coherence_time_s(1.4) * 1000.0
+        assert 5.0 < tc_ms < 12.0
+
+    def test_still_coherence_infinite(self):
+        assert coherence_time_s(0.0) == math.inf
+
+    def test_coherence_shrinks_with_speed(self):
+        assert coherence_time_s(20.0) < coherence_time_s(1.4)
+
+
+class TestEnvelopeStatistics:
+    def test_mean_power_near_unity(self):
+        process = RiceanFadingProcess(k_factor=0.0, seed=1)
+        gains = process.sample_series(np.full(30000, 3.0), 0.001)
+        mean_power = np.mean(10 ** (gains / 10.0))
+        assert mean_power == pytest.approx(1.0, abs=0.15)
+
+    def test_rayleigh_deep_fades_exist(self):
+        process = RiceanFadingProcess(k_factor=0.0, seed=2)
+        gains = process.sample_series(np.full(50000, 3.0), 0.001)
+        assert gains.min() < -15.0
+
+    def test_high_k_shallow_fades(self):
+        process = RiceanFadingProcess(k_factor=20.0, seed=2)
+        gains = process.sample_series(np.full(50000, 3.0), 0.001)
+        assert gains.min() > -8.0
+
+    def test_deterministic_per_seed(self):
+        a = RiceanFadingProcess(seed=7).sample_series(np.ones(100), 0.001)
+        b = RiceanFadingProcess(seed=7).sample_series(np.ones(100), 0.001)
+        assert np.array_equal(a, b)
+
+    def test_step_matches_series(self):
+        p1 = RiceanFadingProcess(seed=3)
+        p2 = RiceanFadingProcess(seed=3)
+        series = p1.sample_series(np.full(10, 1.4), 0.001)
+        stepped = [p2.step(0.001, 1.4) for _ in range(10)]
+        assert np.allclose(series, stepped, atol=1e-9)
+
+    def test_min_initial_gain_respected(self):
+        for seed in range(20):
+            process = RiceanFadingProcess(k_factor=0.0, seed=seed,
+                                          min_initial_gain_db=-3.0)
+            assert process.gain_db() >= -3.0
+
+
+class TestCoherence:
+    def test_mobile_decorrelates_at_paper_rate(self):
+        """Walking speed must give ~8 ms decorrelation (Figure 3-1)."""
+        process = RiceanFadingProcess(k_factor=0.5, residual_doppler_hz=0.8,
+                                      seed=1)
+        gains = process.sample_series(np.full(8000, 1.4), 0.001)
+        assert 3.0 < half_decorrelation_ms(gains) < 20.0
+
+    def test_static_far_slower_than_mobile(self):
+        mobile = RiceanFadingProcess(k_factor=0.5, residual_doppler_hz=0.8, seed=1)
+        static = RiceanFadingProcess(k_factor=0.5, residual_doppler_hz=0.8, seed=1)
+        g_mobile = mobile.sample_series(np.full(8000, 1.4), 0.001)
+        g_static = static.sample_series(np.zeros(8000), 0.001)
+        assert half_decorrelation_ms(g_static) > 5 * half_decorrelation_ms(g_mobile)
+
+    def test_static_wander_is_shallow(self):
+        process = RiceanFadingProcess(k_factor=0.5, residual_doppler_hz=0.8,
+                                      seed=4, min_initial_gain_db=-3.0)
+        gains = process.sample_series(np.zeros(20000), 0.001)
+        assert gains.std() < 2.5
+
+    def test_vehicular_decorrelates_faster_than_walking(self):
+        walk = RiceanFadingProcess(seed=5)
+        car = RiceanFadingProcess(seed=5)
+        g_walk = walk.sample_series(np.full(4000, 1.4), 0.0005)
+        g_car = car.sample_series(np.full(4000, 15.0), 0.0005)
+        assert (half_decorrelation_ms(g_car, 0.5)
+                < half_decorrelation_ms(g_walk, 0.5))
+
+
+class TestValidation:
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            RiceanFadingProcess(k_factor=-1.0)
+
+    def test_rejects_few_oscillators(self):
+        with pytest.raises(ValueError):
+            RiceanFadingProcess(n_oscillators=2)
+
+    def test_rejects_negative_dt(self):
+        process = RiceanFadingProcess()
+        with pytest.raises(ValueError):
+            process.step(-0.001, 1.0)

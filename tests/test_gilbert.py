@@ -1,0 +1,56 @@
+"""Gilbert-Elliott model: closed forms versus simulation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.gilbert import GilbertElliott
+
+
+class TestClosedForms:
+    def test_stationary_bad_fraction(self):
+        model = GilbertElliott(0.1, 0.3)
+        assert model.stationary_bad == pytest.approx(0.25)
+
+    def test_stationary_loss_rate(self):
+        model = GilbertElliott(0.1, 0.3, loss_good=0.0, loss_bad=1.0)
+        assert model.stationary_loss_rate == pytest.approx(0.25)
+
+    def test_conditional_at_lag_zero_distance(self):
+        model = GilbertElliott(0.05, 0.2)
+        # Lag 1 conditional loss must exceed the unconditional rate
+        # (bursty channel).
+        assert model.conditional_loss_at_lag(1) > model.stationary_loss_rate
+
+    def test_conditional_decays_to_unconditional(self):
+        model = GilbertElliott(0.05, 0.2)
+        far = model.conditional_loss_at_lag(500)
+        assert far == pytest.approx(model.stationary_loss_rate, abs=1e-6)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliott(1.5, 0.1)
+        with pytest.raises(ValueError):
+            GilbertElliott(0.0, 0.0)
+
+
+class TestSimulationMatchesTheory:
+    def test_empirical_loss_rate(self):
+        model = GilbertElliott(0.02, 0.1, loss_good=0.01, loss_bad=0.9)
+        losses = model.sample(200_000, seed=1)
+        assert losses.mean() == pytest.approx(model.stationary_loss_rate,
+                                              abs=0.01)
+
+    def test_empirical_conditional_at_small_lag(self):
+        model = GilbertElliott(0.02, 0.1)
+        losses = model.sample(200_000, seed=2)
+        lag = 3
+        base = losses[:-lag]
+        ahead = losses[lag:]
+        empirical = (ahead & base).sum() / max(base.sum(), 1)
+        assert empirical == pytest.approx(model.conditional_loss_at_lag(lag),
+                                          abs=0.03)
+
+    def test_sample_deterministic(self):
+        model = GilbertElliott(0.1, 0.1)
+        assert np.array_equal(model.sample(1000, seed=5),
+                              model.sample(1000, seed=5))

@@ -1,0 +1,147 @@
+"""Heading fusion (compass+gyro) and speed/position hint extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.heading import HeadingEstimator, circular_mean_deg
+from repro.core.speed import GpsSpeedSource, SpeedEstimator, WifiLocalization
+from repro.sensors import (
+    Accelerometer,
+    Compass,
+    Gyroscope,
+    Motion,
+    MotionScript,
+    MotionSegment,
+    stationary_script,
+    walking_script,
+)
+from repro.sensors.gps import GpsReading
+
+
+class TestHeadingEstimator:
+    def test_first_compass_initialises(self):
+        est = HeadingEstimator()
+        est.update_compass(120.0, 0.0)
+        assert est.heading_deg == pytest.approx(120.0)
+
+    def test_gyro_propagates(self):
+        est = HeadingEstimator()
+        est.update_compass(0.0, 0.0)
+        est.update_gyro(10.0, 0.0)
+        est.update_gyro(10.0, 1.0)   # 10 deg/s for 1 s
+        assert est.heading_deg == pytest.approx(10.0, abs=0.1)
+
+    def test_compass_corrects_drift(self):
+        est = HeadingEstimator(alpha=0.5)
+        est.update_compass(0.0, 0.0)
+        est._heading = 20.0  # inject drift
+        for i in range(20):
+            est.update_compass(0.0, float(i))
+        assert est.error_to(0.0) < 1.0
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            HeadingEstimator(alpha=0.0)
+
+    def test_fusion_beats_disturbed_compass_alone(self):
+        script = MotionScript(
+            [MotionSegment(Motion.WALK, 60.0, 1.4, heading_deg=77.0)])
+        compass = Compass(script, seed=3, magnetic_disturbance=True)
+        gyro = Gyroscope(script, seed=4)
+        est = HeadingEstimator(alpha=0.02)
+        compass_errors = []
+        events = sorted(
+            [(r.time_s, "g", r.values[0]) for r in gyro.readings()]
+            + [(r.time_s, "c", r.values[0]) for r in compass.readings()]
+        )
+        fused_errors = []
+        for t, kind, value in events:
+            if kind == "g":
+                est.update_gyro(value, t)
+            else:
+                est.update_compass(value, t)
+                compass_errors.append(
+                    abs((value - 77.0 + 180.0) % 360.0 - 180.0))
+            if t > 10.0:
+                fused_errors.append(est.error_to(77.0))
+        assert np.mean(fused_errors) < np.mean(compass_errors)
+
+    def test_gps_correction(self):
+        est = HeadingEstimator()
+        est.update_compass(100.0, 0.0)
+        est.update_gps(0.0, 1.0, weight=1.0)
+        assert est.heading_deg == pytest.approx(0.0, abs=1e-6)
+
+
+class TestCircularMean:
+    def test_wraparound_mean(self):
+        mean = circular_mean_deg([350.0, 10.0])
+        assert min(mean, 360.0 - mean) == pytest.approx(0.0, abs=1e-6)
+
+    def test_simple_mean(self):
+        assert circular_mean_deg([80.0, 100.0]) == pytest.approx(90.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            circular_mean_deg([])
+
+
+class TestSpeedEstimator:
+    def test_still_speed_near_zero(self):
+        acc = Accelerometer(stationary_script(10.0), seed=0)
+        est = SpeedEstimator()
+        for row in acc.force_array():
+            est.update(*row)
+        assert est.speed_mps < 0.3
+
+    def test_walking_speed_positive(self):
+        acc = Accelerometer(walking_script(10.0), seed=0)
+        est = SpeedEstimator()
+        speeds = [est.update(*row) for row in acc.force_array()]
+        assert np.mean(speeds[2500:]) > 0.4
+
+    def test_reset(self):
+        est = SpeedEstimator()
+        est.update(10.0, 10.0, 10.0)
+        est.update(0.0, 0.0, 0.0)
+        est.reset()
+        assert est.speed_mps == 0.0
+
+
+class TestGpsSpeedSource:
+    def test_ignores_invalid_readings(self):
+        src = GpsSpeedSource()
+        src.update(GpsReading(0.0, (0.0, 0.0, 9.0, 0.0), valid=False))
+        assert not src.has_position
+
+    def test_position_hint_after_fix(self):
+        src = GpsSpeedSource()
+        src.update(GpsReading(0.0, (3.0, 4.0, 9.0, 0.0)))
+        hint = src.position_hint(1.0)
+        assert (hint.x_m, hint.y_m) == (3.0, 4.0)
+        assert src.speed_hint(1.0).speed_mps == 9.0
+
+    def test_position_before_fix_raises(self):
+        with pytest.raises(RuntimeError):
+            GpsSpeedSource().position_hint(0.0)
+
+
+class TestWifiLocalization:
+    def test_equidistant_centroid(self):
+        loc = WifiLocalization({"a": (0.0, 0.0), "b": (10.0, 0.0)})
+        x, y = loc.locate({"a": -50.0, "b": -50.0})
+        assert x == pytest.approx(5.0)
+
+    def test_stronger_ap_pulls_estimate(self):
+        loc = WifiLocalization({"a": (0.0, 0.0), "b": (10.0, 0.0)})
+        x, _ = loc.locate({"a": -40.0, "b": -70.0})
+        assert x < 2.0
+
+    def test_unknown_aps_rejected(self):
+        loc = WifiLocalization({"a": (0.0, 0.0)})
+        with pytest.raises(ValueError):
+            loc.locate({"zzz": -50.0})
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            WifiLocalization({})

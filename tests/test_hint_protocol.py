@@ -1,0 +1,134 @@
+"""The Hint Protocol wire formats and delivery semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hint_protocol import (
+    HINT_FRAME_MAGIC,
+    HintChannel,
+    decode_hint_field,
+    decode_hint_frame,
+    decode_movement_bit,
+    encode_hint_field,
+    encode_hint_frame,
+    encode_movement_bit,
+)
+from repro.core.hints import (
+    EnvironmentActivityHint,
+    HeadingHint,
+    MovementHint,
+    PositionHint,
+    SpeedHint,
+)
+
+
+class TestMovementBit:
+    @given(st.integers(0, 0xFF), st.booleans())
+    def test_roundtrip(self, fc, moving):
+        assert decode_movement_bit(encode_movement_bit(fc, moving)) == moving
+
+    @given(st.integers(0, 0x7F))
+    def test_other_bits_preserved(self, fc):
+        assert encode_movement_bit(fc, False) & 0x7F == fc & 0x7F
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_movement_bit(256, True)
+        with pytest.raises(ValueError):
+            decode_movement_bit(-1)
+
+
+class TestHintField:
+    @given(st.booleans())
+    def test_movement_roundtrip(self, moving):
+        hint = MovementHint(0.0, moving)
+        decoded = decode_hint_field(encode_hint_field(hint))
+        assert decoded.moving == moving
+
+    @given(st.floats(0, 359.9))
+    def test_heading_roundtrip_quantised(self, heading):
+        hint = HeadingHint(0.0, heading)
+        decoded = decode_hint_field(encode_hint_field(hint))
+        # One-byte quantisation: ~1.4 degree steps.
+        error = abs(decoded.heading_deg - heading) % 360.0
+        assert min(error, 360.0 - error) <= 0.8
+
+    @given(st.floats(0, 120.0))
+    def test_speed_roundtrip_quantised(self, speed):
+        hint = SpeedHint(0.0, speed)
+        decoded = decode_hint_field(encode_hint_field(hint))
+        assert abs(decoded.speed_mps - speed) <= 0.25
+
+    def test_field_is_two_bytes(self):
+        assert len(encode_hint_field(MovementHint(0.0, True))) == 2
+
+    def test_position_rejected_as_field(self):
+        with pytest.raises(TypeError):
+            encode_hint_field(PositionHint(0.0, 1.0, 2.0))
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(ValueError):
+            decode_hint_field(b"\x01")
+
+
+class TestHintFrame:
+    def test_roundtrip_mixed_hints(self):
+        hints = [
+            MovementHint(0.0, True),
+            HeadingHint(0.0, 123.0),
+            PositionHint(0.0, -50.0, 1200.0),
+            SpeedHint(0.0, 13.0),
+            EnvironmentActivityHint(0.0, True, 4.0),
+        ]
+        decoded = decode_hint_frame(encode_hint_frame(hints))
+        assert len(decoded) == 5
+        assert decoded[0].moving is True
+        assert decoded[2].x_m == pytest.approx(-50.0)
+        assert decoded[2].y_m == pytest.approx(1200.0)
+
+    def test_magic_checked(self):
+        with pytest.raises(ValueError):
+            decode_hint_frame(b"\x00\x01\x01\x01")
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_hint_frame([MovementHint(0.0, True)])
+        with pytest.raises(ValueError):
+            decode_hint_frame(frame[:-1])
+
+    def test_empty_frame(self):
+        assert decode_hint_frame(encode_hint_frame([])) == []
+
+    def test_magic_value(self):
+        assert encode_hint_frame([])[0] == HINT_FRAME_MAGIC
+
+
+class TestHintChannel:
+    def test_no_hint_before_publish(self):
+        channel = HintChannel()
+        assert channel.deliver(0.0, exchange_success=True) is None
+
+    def test_delivered_on_success(self):
+        channel = HintChannel()
+        channel.publish(MovementHint(0.0, True))
+        hint = channel.deliver(0.1, exchange_success=True)
+        assert hint is not None and hint.moving
+
+    def test_beacon_carries_hint_without_traffic(self):
+        channel = HintChannel(beacon_interval_s=0.1)
+        channel.publish(MovementHint(0.0, True))
+        assert channel.deliver(0.0, exchange_success=False) is not None
+        # Immediately after, the beacon is not due yet.
+        assert channel.deliver(0.01, exchange_success=False) is None
+        assert channel.deliver(0.2, exchange_success=False) is not None
+
+    def test_beacon_disabled(self):
+        channel = HintChannel(beacon_interval_s=0.0)
+        channel.publish(MovementHint(0.0, True))
+        assert channel.deliver(10.0, exchange_success=False) is None
+
+    def test_value_is_wire_quantised(self):
+        channel = HintChannel()
+        channel.publish(HeadingHint(0.0, 100.123456))
+        hint = channel.deliver(0.0, exchange_success=True)
+        assert hint.heading_deg != 100.123456  # went through the wire
+        assert abs(hint.heading_deg - 100.123456) < 1.0

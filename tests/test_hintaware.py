@@ -1,0 +1,73 @@
+"""The hint-aware rate controller's switching semantics."""
+
+import pytest
+
+from repro.core.hints import HeadingHint, MovementHint
+from repro.rate.hintaware import HintAwareRateController
+from repro.rate.rapidsample import RapidSample
+from repro.rate.samplerate import SampleRate
+
+
+class TestSwitching:
+    def test_starts_static(self):
+        ctrl = HintAwareRateController()
+        assert not ctrl.moving
+        assert ctrl.active is ctrl._static
+
+    def test_movement_hint_switches_to_mobile(self):
+        ctrl = HintAwareRateController()
+        ctrl.on_hint(MovementHint(1.0, True))
+        assert ctrl.moving
+        assert ctrl.active is ctrl._mobile
+        assert ctrl.switch_count == 1
+
+    def test_duplicate_hint_ignored(self):
+        ctrl = HintAwareRateController()
+        ctrl.on_hint(MovementHint(1.0, True))
+        ctrl.on_hint(MovementHint(2.0, True))
+        assert ctrl.switch_count == 1
+
+    def test_non_movement_hint_ignored(self):
+        ctrl = HintAwareRateController()
+        ctrl.on_hint(HeadingHint(1.0, 90.0))
+        assert ctrl.switch_count == 0
+
+    def test_round_trip_switching(self):
+        ctrl = HintAwareRateController()
+        ctrl.on_hint(MovementHint(1.0, True))
+        ctrl.on_hint(MovementHint(2.0, False))
+        assert not ctrl.moving
+        assert ctrl.switch_count == 2
+
+    def test_mobile_reset_on_switch(self):
+        mobile = RapidSample()
+        ctrl = HintAwareRateController(mobile=mobile)
+        mobile.on_result(7, False, 0.0)   # dirty state
+        ctrl.on_hint(MovementHint(1.0, True))
+        # Reset: failure timestamps wiped, starts from seed rate.
+        assert mobile._failed_time[7] == float("-inf")
+
+    def test_seed_rate_handoff(self):
+        static = SampleRate()
+        ctrl = HintAwareRateController(static=static)
+        # Drive SampleRate to a low rate.
+        for i in range(40):
+            static.on_result(7, False, float(i))
+            static.on_result(2, True, float(i))
+        low = static.choose_rate(41.0)
+        ctrl.on_hint(MovementHint(42.0, True))
+        assert ctrl._mobile.choose_rate(42.0) == low
+
+    def test_results_feed_active_only(self):
+        ctrl = HintAwareRateController()
+        ctrl.on_hint(MovementHint(0.0, True))
+        ctrl.on_result(5, False, 1.0)
+        # SampleRate saw nothing.
+        assert len(ctrl._static._records) == 0
+
+    def test_reset_clears_everything(self):
+        ctrl = HintAwareRateController()
+        ctrl.on_hint(MovementHint(0.0, True))
+        ctrl.reset()
+        assert not ctrl.moving
+        assert ctrl.switch_count == 0

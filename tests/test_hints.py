@@ -1,0 +1,72 @@
+"""Hint types and heading arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hints import (
+    EnvironmentActivityHint,
+    HeadingHint,
+    HintType,
+    MovementHint,
+    PositionHint,
+    SpeedHint,
+    heading_difference_deg,
+)
+
+
+class TestHintTypes:
+    def test_movement_hint_type(self):
+        assert MovementHint(0.0, True).hint_type is HintType.MOVEMENT
+
+    def test_heading_hint_type(self):
+        assert HeadingHint(0.0, 90.0).hint_type is HintType.HEADING
+
+    def test_speed_hint_type(self):
+        assert SpeedHint(0.0, 1.4).hint_type is HintType.SPEED
+
+    def test_position_hint_type(self):
+        assert PositionHint(0.0, 1.0, 2.0).hint_type is HintType.POSITION
+
+    def test_activity_hint_type(self):
+        hint = EnvironmentActivityHint(0.0, True, 5.0)
+        assert hint.hint_type is HintType.ENVIRONMENT_ACTIVITY
+
+    def test_hints_are_frozen(self):
+        hint = MovementHint(0.0, True)
+        with pytest.raises(AttributeError):
+            hint.moving = False
+
+    def test_hint_types_fit_one_byte(self):
+        assert all(0 <= int(t) <= 0xFF for t in HintType)
+
+    def test_heading_difference_to(self):
+        a = HeadingHint(0.0, 350.0)
+        b = HeadingHint(0.0, 10.0)
+        assert a.difference_to(b) == pytest.approx(20.0)
+
+
+class TestHeadingDifference:
+    def test_basic(self):
+        assert heading_difference_deg(0.0, 90.0) == 90.0
+
+    def test_wraparound(self):
+        assert heading_difference_deg(350.0, 10.0) == pytest.approx(20.0)
+
+    def test_opposite(self):
+        assert heading_difference_deg(0.0, 180.0) == 180.0
+
+    @given(st.floats(0, 360), st.floats(0, 360))
+    def test_range_and_symmetry(self, a, b):
+        d = heading_difference_deg(a, b)
+        assert 0.0 <= d <= 180.0
+        assert d == pytest.approx(heading_difference_deg(b, a))
+
+    @given(st.floats(0, 360))
+    def test_self_difference_zero(self, a):
+        assert heading_difference_deg(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.floats(0, 360), st.floats(-720, 720))
+    def test_rotation_invariance(self, a, shift):
+        d1 = heading_difference_deg(a, a + 90.0)
+        d2 = heading_difference_deg(a + shift, a + 90.0 + shift)
+        assert d1 == pytest.approx(d2, abs=1e-6)

@@ -1,0 +1,44 @@
+"""Throughput accounting helpers."""
+
+import pytest
+
+from repro.mac.metrics import MeanCI, mean_confidence_interval, normalise_to
+
+
+class TestMeanCI:
+    def test_mean_and_bounds(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.low < 2.0 < ci.high
+        assert ci.n == 3
+
+    def test_single_value_zero_width(self):
+        ci = mean_confidence_interval([5.0])
+        assert ci.half_width == 0.0
+
+    def test_wider_at_higher_confidence(self):
+        data = [1.0, 5.0, 3.0, 2.0, 4.0]
+        assert (mean_confidence_interval(data, 0.99).half_width
+                > mean_confidence_interval(data, 0.90).half_width)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_unknown_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=0.5)
+
+
+class TestNormalise:
+    def test_reference_becomes_one(self):
+        out = normalise_to({"a": 4.0, "b": 2.0}, "a")
+        assert out == {"a": 1.0, "b": 0.5}
+
+    def test_missing_reference(self):
+        with pytest.raises(KeyError):
+            normalise_to({"a": 1.0}, "zz")
+
+    def test_zero_reference(self):
+        with pytest.raises(ZeroDivisionError):
+            normalise_to({"a": 0.0}, "a")

@@ -1,0 +1,157 @@
+"""The jerk movement detector: exact Section 2.2.1 semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.movement import (
+    AVG_WINDOW_REPORTS,
+    HOLD_WINDOW_REPORTS,
+    JERK_THRESHOLD,
+    MovementDetector,
+    hint_edges,
+    jerk_series,
+    movement_hint_series,
+)
+from repro.sensors import Accelerometer, mixed_mobility_script, stationary_script
+
+
+def constant_forces(n, value=(0.0, 0.0, 9.8)):
+    return np.tile(np.asarray(value), (n, 1))
+
+
+class TestJerkSeries:
+    def test_constant_force_zero_jerk(self):
+        jerks = jerk_series(constant_forces(100))
+        assert np.allclose(jerks, 0.0)
+
+    def test_step_change_produces_jerk(self):
+        forces = constant_forces(100)
+        forces[50:] += 2.0
+        jerks = jerk_series(forces)
+        assert jerks.max() > JERK_THRESHOLD
+
+    def test_jerk_magnitude_of_step(self):
+        """A clean step of d per axis gives a peak jerk of 3*d^2."""
+        forces = constant_forces(40, (0.0, 0.0, 0.0))
+        forces[20:] += 1.0  # all three axes step by 1
+        jerks = jerk_series(forces)
+        assert jerks.max() == pytest.approx(3.0)
+
+    def test_short_series_all_zero(self):
+        jerks = jerk_series(constant_forces(5))
+        assert np.allclose(jerks, 0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            jerk_series(np.zeros((10, 2)))
+
+    def test_warmup_region_zero(self):
+        forces = constant_forces(100) + np.random.default_rng(0).normal(
+            0, 5, (100, 3))
+        jerks = jerk_series(forces)
+        assert np.allclose(jerks[: 2 * AVG_WINDOW_REPORTS - 1], 0.0)
+
+
+class TestMovementDetector:
+    def test_initially_not_moving(self):
+        assert not MovementDetector().moving
+
+    def test_stays_off_for_constant_force(self):
+        det = MovementDetector()
+        for _ in range(500):
+            det.update(0.1, -0.2, 9.8)
+        assert not det.moving
+
+    def test_turns_on_at_jerk(self):
+        det = MovementDetector()
+        for _ in range(50):
+            det.update(0.0, 0.0, 9.8)
+        for _ in range(10):
+            det.update(3.0, 3.0, 12.8)
+        assert det.moving
+
+    def test_holds_for_window_then_falls(self):
+        det = MovementDetector()
+        for _ in range(50):
+            det.update(0.0, 0.0, 9.8)
+        for _ in range(10):
+            det.update(4.0, 4.0, 13.8)
+        assert det.moving
+        # Quiet again: hint must persist for the hold window then drop.
+        updates_until_off = 0
+        while det.moving and updates_until_off < 200:
+            det.update(0.0, 0.0, 9.8)
+            updates_until_off += 1
+        assert det.moving is False
+        # Hold window plus averaging settle time, in reports.
+        assert updates_until_off <= HOLD_WINDOW_REPORTS + 2 * AVG_WINDOW_REPORTS + 2
+
+    def test_reset_clears_state(self):
+        det = MovementDetector()
+        for _ in range(20):
+            det.update(5.0, 5.0, 5.0)
+        det.reset()
+        assert not det.moving
+        assert det.report_count == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MovementDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            MovementDetector(hold_window=0)
+
+    def test_hint_object(self):
+        det = MovementDetector()
+        hint = det.hint(1.5)
+        assert hint.time_s == 1.5
+        assert hint.moving is False
+
+
+class TestVectorisedAgreement:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_incremental_matches_vectorised(self, seed):
+        """The device implementation and the batch implementation agree."""
+        rng = np.random.default_rng(seed)
+        n = 400
+        forces = rng.normal(0.0, 1.0, (n, 3)).cumsum(axis=0) * 0.1
+        batch = movement_hint_series(forces)
+        det = MovementDetector()
+        incremental = np.array([det.update(*row) for row in forces])
+        assert np.array_equal(batch, incremental)
+
+    def test_agreement_on_real_sensor_trace(self):
+        script = mixed_mobility_script(6.0)
+        forces = Accelerometer(script, seed=5).force_array()
+        batch = movement_hint_series(forces)
+        det = MovementDetector()
+        incremental = np.array([det.update(*row) for row in forces])
+        assert np.array_equal(batch, incremental)
+
+
+class TestEndToEndDetection:
+    def test_detects_mixed_script(self):
+        script = mixed_mobility_script(20.0)
+        acc = Accelerometer(script, seed=1)
+        hints = movement_hint_series(acc.force_array())
+        truth = np.array([script.moving_at(t) for t in acc.report_times()])
+        assert (hints == truth).mean() > 0.98
+
+    def test_detection_latency_under_100ms(self):
+        script = mixed_mobility_script(20.0)
+        acc = Accelerometer(script, seed=2)
+        hints = movement_hint_series(acc.force_array())
+        onset_report = int(10.0 * 500)
+        latency_reports = int(np.argmax(hints[onset_report:]))
+        assert latency_reports * 2.0 < 100.0
+
+    def test_stationary_never_fires(self):
+        acc = Accelerometer(stationary_script(30.0), seed=3)
+        hints = movement_hint_series(acc.force_array())
+        assert not hints.any()
+
+    def test_hint_edges_extraction(self):
+        hints = np.array([False, False, True, True, False])
+        edges = hint_edges(hints, report_period_s=0.002)
+        assert [(e.report_index, e.moving) for e in edges] == [(2, True), (4, False)]

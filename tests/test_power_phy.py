@@ -1,0 +1,87 @@
+"""Power saving and PHY parameter adaptation."""
+
+import pytest
+
+from repro.core.architecture import HintAwareNode
+from repro.phy import (
+    DELAY_SPREAD_INDOOR_NS,
+    DELAY_SPREAD_OUTDOOR_NS,
+    GUARD_EXTENDED_US,
+    GUARD_STANDARD_US,
+    choose_cyclic_prefix,
+    effective_throughput_mbps,
+    isi_snr_penalty_db,
+    max_frame_bytes_for_speed,
+)
+from repro.power import POLICIES, RadioPowerModel, simulate_power
+from repro.sensors import stop_and_go_script
+
+
+class TestPowerSaving:
+    def test_hint_aware_saves_energy(self):
+        script = stop_and_go_script(n_cycles=3, still_s=60.0, move_s=20.0)
+        hints = HintAwareNode(script, seed=0).movement_hint_series()
+        baseline = simulate_power(script, "baseline")
+        aware = simulate_power(script, "hint_aware", movement_hints=hints)
+        assert aware.energy_j < baseline.energy_j
+        assert aware.scans < baseline.scans
+
+    def test_savings_grow_with_idle_fraction(self):
+        mostly_still = stop_and_go_script(n_cycles=2, still_s=200.0, move_s=10.0)
+        mostly_moving = stop_and_go_script(n_cycles=2, still_s=10.0, move_s=200.0)
+        def savings(script):
+            base = simulate_power(script, "baseline").energy_j
+            aware = simulate_power(script, "hint_aware").energy_j
+            return 1.0 - aware / base
+        assert savings(mostly_still) > savings(mostly_moving)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_power(stop_and_go_script(), "warp_drive")
+
+    def test_average_power_bounded_by_states(self):
+        model = RadioPowerModel()
+        result = simulate_power(stop_and_go_script(), "baseline", model=model)
+        assert model.sleep_w <= result.average_power_w <= model.scan_w
+
+
+class TestOfdm:
+    def test_no_penalty_within_guard(self):
+        assert isi_snr_penalty_db(DELAY_SPREAD_INDOOR_NS, GUARD_STANDARD_US) < 0.05
+
+    def test_outdoor_overruns_standard_guard(self):
+        assert isi_snr_penalty_db(DELAY_SPREAD_OUTDOOR_NS, GUARD_STANDARD_US) > 0.0
+
+    def test_extended_guard_covers_outdoor(self):
+        assert (isi_snr_penalty_db(DELAY_SPREAD_OUTDOOR_NS, GUARD_EXTENDED_US)
+                < isi_snr_penalty_db(DELAY_SPREAD_OUTDOOR_NS, GUARD_STANDARD_US))
+
+    def test_penalty_monotone_in_spread(self):
+        penalties = [isi_snr_penalty_db(s, GUARD_STANDARD_US)
+                     for s in (100, 300, 600, 1200)]
+        assert penalties == sorted(penalties)
+
+    def test_hinted_choice(self):
+        assert choose_cyclic_prefix(False) == GUARD_STANDARD_US
+        assert choose_cyclic_prefix(True) == GUARD_EXTENDED_US
+
+    def test_extended_guard_wins_outdoors(self):
+        std = effective_throughput_mbps(3, GUARD_STANDARD_US,
+                                        DELAY_SPREAD_OUTDOOR_NS, 20.0)
+        ext = effective_throughput_mbps(3, GUARD_EXTENDED_US,
+                                        DELAY_SPREAD_OUTDOOR_NS, 20.0)
+        assert ext > std
+
+    def test_standard_guard_wins_indoors(self):
+        std = effective_throughput_mbps(3, GUARD_STANDARD_US,
+                                        DELAY_SPREAD_INDOOR_NS, 20.0)
+        ext = effective_throughput_mbps(3, GUARD_EXTENDED_US,
+                                        DELAY_SPREAD_INDOOR_NS, 20.0)
+        assert std > ext
+
+    def test_frame_cap_monotone_in_speed(self):
+        caps = [max_frame_bytes_for_speed(v, 7) for v in (0.0, 5.0, 15.0, 40.0)]
+        assert caps == sorted(caps, reverse=True)
+
+    def test_still_device_uncapped(self):
+        assert max_frame_bytes_for_speed(0.0, 7, max_bytes=1500) == 1500

@@ -1,0 +1,103 @@
+"""RapidSample: the Figure 3-2 algorithm, step by step."""
+
+import pytest
+
+from repro.rate.rapidsample import RapidSample
+
+
+class TestColdStart:
+    def test_starts_at_fastest_rate(self):
+        assert RapidSample().choose_rate(0.0) == 7
+
+
+class TestFailurePath:
+    def test_steps_down_one_on_loss(self):
+        ctrl = RapidSample()
+        ctrl.on_result(7, False, 1.0)
+        assert ctrl.choose_rate(1.1) == 6
+
+    def test_never_below_zero(self):
+        ctrl = RapidSample()
+        for t in range(1, 20):
+            rate = ctrl.choose_rate(float(t))
+            ctrl.on_result(rate, False, float(t))
+        assert ctrl.choose_rate(21.0) == 0
+
+    def test_failed_sample_reverts_to_old_rate(self):
+        ctrl = RapidSample(succ_ms=5.0, fail_ms=10.0)
+        ctrl.on_result(7, False, 0.0)      # drop to 6
+        ctrl.on_result(6, False, 0.5)      # drop to 5
+        # Succeed at 5 past succ_ms AND past the others' quarantine.
+        ctrl.on_result(5, True, 1.0)
+        ctrl.on_result(5, True, 12.0)      # quarantines (10 ms) expired
+        sampled = ctrl.current_rate
+        assert sampled > 5
+        assert ctrl.is_sampling
+        ctrl.on_result(sampled, False, 12.5)
+        assert ctrl.current_rate == 5       # reverted, not stepped down
+
+    def test_successful_sample_adopted(self):
+        ctrl = RapidSample(succ_ms=5.0, fail_ms=10.0)
+        ctrl.on_result(7, False, 0.0)
+        ctrl.on_result(6, True, 1.0)
+        ctrl.on_result(6, True, 7.0)       # sample up (7 quarantined til 10)
+        assert ctrl.current_rate == 6      # 7 still quarantined at t=7
+        ctrl.on_result(6, True, 11.0)      # quarantine expired: sample 7
+        assert ctrl.current_rate == 7
+        assert ctrl.is_sampling
+        ctrl.on_result(7, True, 11.3)
+        assert not ctrl.is_sampling        # adopted
+
+
+class TestQuarantine:
+    def test_prefix_rule_blocks_faster_rates(self):
+        """A recent failure at a slow rate blocks all faster rates."""
+        ctrl = RapidSample(succ_ms=5.0, fail_ms=10.0)
+        ctrl.on_result(3, False, 100.0)    # rate 3 failed at t=100
+        # At t=104, rates >= 3 are all quarantined by the prefix rule.
+        assert ctrl._best_unquarantined(104.0) == 2
+
+    def test_quarantine_expires(self):
+        ctrl = RapidSample(succ_ms=5.0, fail_ms=10.0)
+        ctrl.on_result(3, False, 100.0)
+        assert ctrl._best_unquarantined(111.0) == 7
+
+    def test_all_failed_stays_at_zero(self):
+        ctrl = RapidSample(succ_ms=5.0, fail_ms=10.0)
+        for r in range(8):
+            ctrl.on_result(r, False, 100.0)
+        assert ctrl._best_unquarantined(101.0) == 0
+
+
+class TestSuccessWindow:
+    def test_no_sample_before_succ_ms(self):
+        ctrl = RapidSample(succ_ms=5.0, fail_ms=10.0)
+        ctrl.on_result(7, False, 0.0)
+        ctrl.on_result(6, True, 1.0)
+        ctrl.on_result(6, True, 2.0)       # only 2 ms at rate 6
+        assert ctrl.current_rate == 6
+
+    def test_opportunistic_jump_skips_rates(self):
+        """Sampling jumps straight to the fastest clean rate."""
+        ctrl = RapidSample(succ_ms=5.0, fail_ms=10.0)
+        ctrl.on_result(7, False, 0.0)
+        ctrl.on_result(6, False, 0.3)
+        ctrl.on_result(5, False, 0.6)
+        ctrl.on_result(4, False, 0.9)
+        ctrl.on_result(3, True, 1.2)
+        ctrl.on_result(3, True, 15.0)      # all quarantines expired
+        assert ctrl.current_rate == 7      # jumped 3 -> 7 directly
+
+
+class TestValidation:
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            RapidSample(succ_ms=0.0)
+        with pytest.raises(ValueError):
+            RapidSample(fail_ms=-1.0)
+
+    def test_reset(self):
+        ctrl = RapidSample()
+        ctrl.on_result(7, False, 1.0)
+        ctrl.reset()
+        assert ctrl.choose_rate(2.0) == 7

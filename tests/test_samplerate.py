@@ -1,0 +1,85 @@
+"""SampleRate: minimum-average-transmission-time selection."""
+
+import pytest
+
+from repro.rate.samplerate import SampleRate
+
+
+def feed(ctrl, rate, success, t):
+    ctrl.on_result(rate, success, t)
+
+
+class TestSelection:
+    def test_starts_optimistic(self):
+        assert SampleRate().choose_rate(0.0) == 7
+
+    def test_prefers_measured_lower_avg_time(self):
+        ctrl = SampleRate()
+        # Rate 7 delivering always; rate 5 delivering always: 7 is faster.
+        for i in range(20):
+            feed(ctrl, 7, True, float(i))
+            feed(ctrl, 5, True, float(i))
+        assert ctrl._best_rate() == 7
+
+    def test_losses_raise_average_time(self):
+        ctrl = SampleRate()
+        for i in range(40):
+            feed(ctrl, 7, i % 2 == 0, float(i))   # 50% loss at rate 7
+            feed(ctrl, 6, i % 2 == 0, float(i))   # 50% loss at rate 6
+            feed(ctrl, 5, True, float(i))
+        assert ctrl._best_rate() == 5
+
+    def test_unseen_rates_scored_optimistically(self):
+        """A never-tried faster rate is scored by its lossless time, so
+        it can outrank a measured slower rate (Bicket's optimism)."""
+        ctrl = SampleRate()
+        for i in range(20):
+            feed(ctrl, 5, True, float(i))
+        assert ctrl._best_rate() == 7  # unseen, lossless 250us < 322us
+
+    def test_four_consecutive_failures_quarantines_unproven_rate(self):
+        ctrl = SampleRate()
+        for i in range(4):
+            feed(ctrl, 7, False, float(i))
+            feed(ctrl, 6, False, float(i))
+        feed(ctrl, 5, True, 5.0)
+        assert ctrl._best_rate() == 5
+
+    def test_proven_rate_not_quarantined_by_burst(self):
+        """A rate with plenty of successes survives a 4-loss burst."""
+        ctrl = SampleRate()
+        for i in range(4):
+            feed(ctrl, 7, False, float(i))   # 7 quarantined (unproven)
+        for i in range(100):
+            feed(ctrl, 6, True, 5.0 + i * 0.4)
+        for i in range(4):
+            feed(ctrl, 6, False, 46.0 + i * 0.4)
+        assert ctrl._best_rate() == 6
+
+    def test_window_expiry_forgets_old_failures(self):
+        ctrl = SampleRate(window_s=1.0)
+        for i in range(4):
+            feed(ctrl, 7, False, float(i) * 0.1)
+            feed(ctrl, 6, False, float(i) * 0.1)
+        feed(ctrl, 5, True, 0.5)
+        assert ctrl._best_rate() == 5
+        # Two seconds later the failures (and the success) have aged out.
+        ctrl._expire(2500.0)
+        assert ctrl._consecutive_failures[7] == 0
+
+    def test_sampling_occasionally_tries_other_rates(self):
+        ctrl = SampleRate(sample_every=10, seed=1)
+        rates = set()
+        t = 0.0
+        for i in range(200):
+            r = ctrl.choose_rate(t)
+            rates.add(r)
+            feed(ctrl, r, r <= 5, t)   # rates above 5 fail
+            t += 0.4
+        assert len(rates) > 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SampleRate(window_s=0.0)
+        with pytest.raises(ValueError):
+            SampleRate(sample_every=1)

@@ -1,0 +1,161 @@
+"""Synthetic sensors: noise calibration and failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.core.movement import JERK_THRESHOLD, jerk_series
+from repro.sensors import (
+    Accelerometer,
+    Compass,
+    Gps,
+    Gyroscope,
+    Microphone,
+    Motion,
+    MotionScript,
+    MotionSegment,
+    noise_variation,
+    stationary_script,
+    walking_script,
+)
+
+
+class TestAccelerometer:
+    def test_report_rate(self):
+        acc = Accelerometer(stationary_script(2.0))
+        assert len(acc.force_array()) == 1000
+
+    def test_stationary_jerk_below_threshold(self):
+        for seed in range(3):
+            acc = Accelerometer(stationary_script(20.0), seed=seed)
+            jerks = jerk_series(acc.force_array())
+            assert jerks.max() < JERK_THRESHOLD
+
+    def test_walking_jerk_exceeds_threshold_often(self):
+        acc = Accelerometer(walking_script(10.0), seed=0)
+        jerks = jerk_series(acc.force_array())
+        assert (jerks > JERK_THRESHOLD).mean() > 0.4
+
+    def test_driving_rougher_than_walking(self):
+        walk = Accelerometer(walking_script(10.0), seed=1)
+        drive = Accelerometer(
+            MotionScript([MotionSegment(Motion.DRIVE, 10.0, 15.0)]), seed=1)
+        assert (jerk_series(drive.force_array()).mean()
+                > jerk_series(walk.force_array()).mean())
+
+    def test_deterministic_per_seed(self):
+        a = Accelerometer(walking_script(2.0), seed=9).force_array()
+        b = Accelerometer(walking_script(2.0), seed=9).force_array()
+        assert np.array_equal(a, b)
+
+    def test_stream_matches_array(self):
+        acc = Accelerometer(stationary_script(1.0), seed=4)
+        streamed = np.array([r.values for r in acc.stream()])
+        assert np.allclose(streamed, acc.force_array())
+
+
+class TestGps:
+    def outdoor_script(self, duration=30.0):
+        return MotionScript(
+            [MotionSegment(Motion.WALK, duration, 1.4, outdoor=True)])
+
+    def test_no_fix_indoors(self):
+        gps = Gps(stationary_script(10.0))
+        assert all(not r.valid for r in gps.readings())
+
+    def test_fix_after_time_to_fix(self):
+        gps = Gps(self.outdoor_script())
+        readings = gps.readings()
+        assert not readings[0].valid
+        assert readings[10].valid
+
+    def test_position_noise_is_bounded(self):
+        script = self.outdoor_script(120.0)
+        gps = Gps(script, seed=0)
+        errors = [
+            np.hypot(r.x_m - script.state_at(r.time_s).x_m,
+                     r.y_m - script.state_at(r.time_s).y_m)
+            for r in gps.readings() if r.valid
+        ]
+        assert 0.5 < np.mean(errors) < 15.0
+
+    def test_speed_reported_when_moving(self):
+        gps = Gps(self.outdoor_script(60.0), seed=1)
+        speeds = [r.speed_mps for r in gps.readings() if r.valid]
+        assert np.mean(speeds) == pytest.approx(1.4, abs=0.3)
+
+    def test_heading_accurate_when_moving(self):
+        script = MotionScript(
+            [MotionSegment(Motion.WALK, 60.0, 1.4, heading_deg=90.0, outdoor=True)])
+        gps = Gps(script, seed=2)
+        headings = [r.heading_deg for r in gps.readings() if r.valid]
+        assert np.median(headings) == pytest.approx(90.0, abs=5.0)
+
+    def test_fix_lost_when_entering_indoors(self):
+        script = MotionScript([
+            MotionSegment(Motion.WALK, 20.0, 1.4, outdoor=True),
+            MotionSegment(Motion.WALK, 20.0, 1.4, outdoor=False),
+        ])
+        readings = Gps(script).readings()
+        assert readings[15].valid
+        assert not readings[25].valid
+
+
+class TestCompass:
+    def test_clean_compass_tracks_heading(self):
+        script = MotionScript(
+            [MotionSegment(Motion.WALK, 20.0, 1.4, heading_deg=45.0)])
+        compass = Compass(script, seed=0)
+        headings = [r.values[0] for r in compass.readings()]
+        assert np.median(headings) == pytest.approx(45.0, abs=3.0)
+
+    def test_disturbed_compass_much_noisier(self):
+        script = MotionScript(
+            [MotionSegment(Motion.WALK, 60.0, 1.4, heading_deg=45.0)])
+        clean = Compass(script, seed=1)
+        dirty = Compass(script, seed=1, magnetic_disturbance=True)
+        clean_err = np.abs(np.array([r.values[0] for r in clean.readings()]) - 45.0)
+        dirty_err = np.abs(np.array([r.values[0] for r in dirty.readings()]) - 45.0)
+        assert dirty_err.mean() > 2.0 * clean_err.mean()
+
+    def test_heading_wraps_into_range(self):
+        compass = Compass(walking_script(5.0), seed=2)
+        assert all(0.0 <= r.values[0] < 360.0 for r in compass.readings())
+
+
+class TestGyroscope:
+    def test_still_rate_near_zero(self):
+        gyro = Gyroscope(stationary_script(10.0), seed=0)
+        rates = [r.values[0] for r in gyro.readings()]
+        assert abs(np.mean(rates)) < 1.0
+
+    def test_turn_rate_detected(self):
+        script = MotionScript([
+            MotionSegment(Motion.DRIVE, 10.0, 10.0, heading_deg=0.0,
+                          turn_rate_dps=18.0)])
+        gyro = Gyroscope(script, seed=1)
+        rates = [r.values[0] for r in gyro.readings()]
+        # Skip the first (no previous heading) reading.
+        assert np.mean(rates[5:]) == pytest.approx(18.0, abs=3.0)
+
+
+class TestMicrophone:
+    def test_busy_periods_have_more_variation(self):
+        script = MotionScript([
+            MotionSegment(Motion.STATIONARY, 30.0),
+            MotionSegment(Motion.WALK, 30.0, 1.4),
+        ])
+        mic = Microphone(script, seed=0)
+        levels = np.array([r.values[0] for r in mic.readings()])
+        variation = noise_variation(levels)
+        half = len(levels) // 2
+        assert np.median(variation[half + 50:]) > 2.0 * np.median(
+            variation[50:half])
+
+    def test_noise_variation_empty(self):
+        assert len(noise_variation(np.array([]))) == 0
+
+    def test_custom_activity_fn(self):
+        mic = Microphone(stationary_script(10.0), seed=1,
+                         activity_fn=lambda t: 1.0)
+        levels = np.array([r.values[0] for r in mic.readings()])
+        assert levels.std() > 2.0

@@ -1,0 +1,108 @@
+"""802.11a timing arithmetic and traffic sources."""
+
+import pytest
+
+from repro.mac import timing
+from repro.mac.traffic import TcpSource, UdpSource
+
+
+class TestTiming:
+    def test_faster_rates_less_airtime(self):
+        times = [timing.data_airtime_us(r, 1000) for r in range(8)]
+        assert times == sorted(times, reverse=True)
+
+    def test_known_54mbps_airtime(self):
+        """1000 bytes at 54 Mb/s: ceil(8022/216)=38 symbols -> 172 us."""
+        assert timing.data_airtime_us(7, 1000) == pytest.approx(20 + 38 * 4)
+
+    def test_known_6mbps_airtime(self):
+        assert timing.data_airtime_us(0, 1000) == pytest.approx(20 + 335 * 4)
+
+    def test_ack_rate_mandatory_subset(self):
+        assert timing.ack_rate_index(7) == 4
+        assert timing.ack_rate_index(3) == 2
+        assert timing.ack_rate_index(0) == 0
+
+    def test_exchange_exceeds_data_airtime(self):
+        for r in range(8):
+            assert (timing.exchange_airtime_us(r, 1000)
+                    > timing.data_airtime_us(r, 1000))
+
+    def test_failed_exchange_costs_more_than_success(self):
+        assert (timing.failed_exchange_us(4, 1000)
+                > timing.exchange_airtime_us(4, 1000))
+
+    def test_backoff_grows_with_retries(self):
+        waits = [timing.mean_backoff_us(k) for k in range(7)]
+        assert waits == sorted(waits)
+        assert waits[6] <= timing.CW_MAX / 2 * timing.SLOT_TIME_US + 1e-9
+
+    def test_lossless_throughput_ordering(self):
+        tputs = [timing.lossless_throughput_mbps(r) for r in range(8)]
+        assert tputs == sorted(tputs)
+        assert tputs[7] < 54.0  # overhead eats into the nominal rate
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            timing.data_airtime_us(0, 0)
+
+    def test_negative_retry_rejected(self):
+        with pytest.raises(ValueError):
+            timing.mean_backoff_us(-1)
+
+
+class TestUdpSource:
+    def test_always_ready(self):
+        src = UdpSource()
+        assert src.next_send_time_us(123.0) == 123.0
+
+
+class TestTcpSource:
+    def test_initially_ready(self):
+        src = TcpSource()
+        assert src.next_send_time_us(0.0) == 0.0
+
+    def test_window_limits_in_flight(self):
+        src = TcpSource(initial_cwnd=2.0, base_rtt_us=1e6)
+        assert src.next_send_time_us(0.0) == 0.0
+        src.on_delivered(10.0)
+        src.on_delivered(20.0)
+        # Window of 2 full until acks at ~1 s.
+        assert src.next_send_time_us(30.0) > 30.0
+
+    def test_acks_grow_window(self):
+        src = TcpSource(initial_cwnd=2.0, base_rtt_us=100.0)
+        src.on_delivered(0.0)
+        src.on_delivered(0.0)
+        src.next_send_time_us(200.0)  # reap acks
+        assert src.cwnd > 2.0
+
+    def test_drop_collapses_window_and_stalls(self):
+        src = TcpSource(initial_cwnd=8.0, initial_rto_us=1000.0)
+        src.on_dropped(0.0)
+        assert src.cwnd == 1.0
+        assert src.next_send_time_us(1.0) == pytest.approx(1000.0)
+        assert src.timeouts == 1
+
+    def test_rto_doubles_on_consecutive_drops(self):
+        src = TcpSource(initial_rto_us=1000.0)
+        src.on_dropped(0.0)
+        first_stall = src.next_send_time_us(0.0)
+        src.on_dropped(first_stall)
+        second_stall = src.next_send_time_us(first_stall) - first_stall
+        assert second_stall == pytest.approx(2000.0)
+
+    def test_rto_resets_after_delivery(self):
+        src = TcpSource(initial_rto_us=1000.0, base_rtt_us=100.0)
+        src.on_dropped(0.0)
+        src.on_delivered(2000.0)
+        src.next_send_time_us(3000.0)  # reap the ack (due at 2100)
+        src.on_dropped(4000.0)
+        stall = src.next_send_time_us(4000.0) - 4000.0
+        assert stall == pytest.approx(1000.0)
+
+    def test_rto_capped(self):
+        src = TcpSource(initial_rto_us=1000.0, max_rto_us=4000.0)
+        for i in range(10):
+            src.on_dropped(float(i))
+        assert src._rto_us <= 4000.0

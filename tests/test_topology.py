@@ -1,0 +1,187 @@
+"""Probing, estimation error and the adaptive prober."""
+
+import numpy as np
+import pytest
+
+from repro.channel import ChannelTrace
+from repro.channel.rates import N_RATES
+from repro.core.architecture import HintSeries
+from repro.topology import (
+    AdaptiveProber,
+    DeliveryEstimator,
+    ErrorPoint,
+    FixedRateProber,
+    actual_delivery_series,
+    error_vs_probing_rate,
+    estimation_errors,
+    min_rate_for_error,
+    probe_outcomes,
+    probing_rate_ratio,
+    run_probing,
+    subsampled_estimate,
+)
+
+
+def trace_from_delivery(p_series, seed=0):
+    """A trace whose per-slot 6 Mb/s fate follows a delivery profile."""
+    rng = np.random.default_rng(seed)
+    n = len(p_series)
+    fates = np.zeros((n, N_RATES), dtype=bool)
+    fates[:, 0] = rng.random(n) < np.asarray(p_series)
+    return ChannelTrace(fates=fates, snr_db=np.zeros(n),
+                        moving=np.zeros(n, dtype=bool))
+
+
+class TestProbeOutcomes:
+    def test_count(self):
+        trace = trace_from_delivery(np.ones(2000))
+        assert len(probe_outcomes(trace)) == 2000
+
+    def test_perfect_link_all_delivered(self):
+        trace = trace_from_delivery(np.ones(1000))
+        assert probe_outcomes(trace).all()
+
+
+class TestActualSeries:
+    def test_warmup_nan(self):
+        actual = actual_delivery_series(np.ones(20), window=10)
+        assert np.isnan(actual[:9]).all()
+        assert np.allclose(actual[9:], 1.0)
+
+    def test_sliding_mean(self):
+        outcomes = np.array([1, 1, 0, 0] * 5, dtype=float)
+        actual = actual_delivery_series(outcomes, window=4)
+        assert actual[3] == pytest.approx(0.5)
+
+
+class TestSubsampling:
+    def test_full_rate_matches_actual(self):
+        outcomes = np.random.default_rng(1).random(2000) < 0.7
+        times, est = subsampled_estimate(outcomes, 200.0)
+        actual = actual_delivery_series(outcomes)
+        assert np.allclose(est, actual[9:])
+
+    def test_lower_rate_fewer_samples(self):
+        outcomes = np.ones(2000, dtype=bool)
+        t_fast, est_fast = subsampled_estimate(outcomes, 10.0)
+        t_slow, est_slow = subsampled_estimate(outcomes, 1.0)
+        assert len(t_slow) < len(t_fast)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            subsampled_estimate(np.ones(100), 500.0)
+
+    def test_stable_channel_all_rates_accurate(self):
+        """On a constant-delivery channel, probing rate is irrelevant --
+        the static side of the paper's story."""
+        outcomes = np.random.default_rng(2).random(40000) < 0.9
+        for rate in (0.5, 5.0, 50.0):
+            errors = estimation_errors(outcomes, rate)
+            assert errors.mean() < 0.12
+
+    def test_switching_channel_needs_fast_probing(self):
+        """On a channel flipping between good and bad every ~2 s,
+        slow probing misses the swings -- the mobile side."""
+        p = np.tile(np.concatenate([np.ones(400) * 0.95,
+                                    np.ones(400) * 0.05]), 10)
+        trace = trace_from_delivery(p, seed=3)
+        outcomes = probe_outcomes(trace)
+        slow = estimation_errors(outcomes, 0.5).mean()
+        fast = estimation_errors(outcomes, 50.0).mean()
+        assert slow > 2.0 * fast
+
+
+class TestDeliveryEstimator:
+    def test_empty_estimate_none(self):
+        assert DeliveryEstimator().estimate is None
+
+    def test_windowing(self):
+        est = DeliveryEstimator(window=4)
+        for success in (True, True, False, False, False):
+            est.record(success)
+        assert est.estimate == pytest.approx(0.25)
+        assert est.n_recorded == 4
+
+    def test_validates_window(self):
+        with pytest.raises(ValueError):
+            DeliveryEstimator(window=0)
+
+
+class TestErrorSweep:
+    def test_error_points_structure(self):
+        p = np.tile(np.concatenate([np.ones(200) * 0.9,
+                                    np.ones(200) * 0.1]), 20)
+        traces = [trace_from_delivery(p, seed=s) for s in range(3)]
+        points = error_vs_probing_rate(traces, probe_rates_hz=(0.5, 5.0))
+        assert [pt.probe_rate_hz for pt in points] == [0.5, 5.0]
+        assert points[0].mean_error > points[1].mean_error
+
+    def test_min_rate_for_error(self):
+        points = [ErrorPoint(0.5, 0.3, 0.1, 10), ErrorPoint(5.0, 0.04, 0.01, 10)]
+        assert min_rate_for_error(points, 0.05) == 5.0
+        assert min_rate_for_error(points, 0.01) is None
+
+    def test_rate_ratio(self):
+        static = [ErrorPoint(0.5, 0.04, 0.0, 1), ErrorPoint(10.0, 0.02, 0.0, 1)]
+        mobile = [ErrorPoint(0.5, 0.4, 0.0, 1), ErrorPoint(10.0, 0.05, 0.0, 1)]
+        assert probing_rate_ratio(static, mobile, 0.05) == pytest.approx(20.0)
+
+
+class TestProbers:
+    def test_fixed_rate_constant(self):
+        prober = FixedRateProber(1.0)
+        assert prober.probe_rate(0.0, True) == 1.0
+
+    def test_adaptive_fast_while_moving(self):
+        prober = AdaptiveProber(1.0, 10.0, hold_s=1.0)
+        assert prober.probe_rate(0.0, False) == 1.0
+        assert prober.probe_rate(1.0, True) == 10.0
+
+    def test_adaptive_holds_after_stop(self):
+        prober = AdaptiveProber(1.0, 10.0, hold_s=1.0)
+        prober.probe_rate(5.0, True)
+        assert prober.probe_rate(5.5, False) == 10.0   # within hold
+        assert prober.probe_rate(6.5, False) == 1.0    # hold expired
+
+    def test_adaptive_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveProber(10.0, 1.0)
+        with pytest.raises(ValueError):
+            AdaptiveProber(1.0, 10.0, hold_s=-1.0)
+
+
+class TestRunProbing:
+    def _hints(self, duration, moving_from, moving_to):
+        times = np.arange(0.0, duration, 0.1)
+        values = (times >= moving_from) & (times < moving_to)
+        return HintSeries(times_s=times, values=values)
+
+    def test_probe_accounting(self):
+        p = np.ones(8000) * 0.9
+        trace = trace_from_delivery(p, seed=4)
+        run = run_probing(trace, FixedRateProber(1.0))
+        assert run.probes_sent == pytest.approx(40, abs=2)
+        assert run.probes_per_s == pytest.approx(1.0, abs=0.1)
+
+    def test_adaptive_spends_fast_probes_only_while_moving(self):
+        p = np.ones(12000) * 0.9   # 60 s
+        trace = trace_from_delivery(p, seed=5)
+        hints = self._hints(60.0, 20.0, 40.0)
+        adaptive = run_probing(trace, AdaptiveProber(1.0, 10.0, 1.0), hints)
+        fixed_fast = run_probing(trace, FixedRateProber(10.0), hints)
+        # ~1/s for 40 s + ~10/s for 21 s (incl. hold) = ~250 probes.
+        assert adaptive.probes_sent < 0.55 * fixed_fast.probes_sent
+        assert adaptive.probes_sent > 100
+
+    def test_adaptive_tracks_better_than_slow_fixed(self):
+        """On a channel that degrades during movement, the adaptive
+        prober's estimate follows; the 1/s prober lags (Figure 4-6)."""
+        churn = np.repeat(np.tile([0.9, 0.1], 4), 500)  # 2.5 s good/bad
+        p = np.concatenate([np.ones(4000) * 0.95,
+                            churn,                       # churn while moving
+                            np.ones(4000) * 0.95])
+        trace = trace_from_delivery(p, seed=6)
+        hints = self._hints(60.0, 20.0, 40.0)
+        adaptive = run_probing(trace, AdaptiveProber(1.0, 10.0, 1.0), hints)
+        fixed = run_probing(trace, FixedRateProber(1.0), hints)
+        assert adaptive.mean_abs_error <= fixed.mean_abs_error

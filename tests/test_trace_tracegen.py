@@ -1,0 +1,152 @@
+"""Trace format and the trace generator's measured statistics."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    ChannelTrace,
+    HALLWAY,
+    OFFICE,
+    SLOT_S,
+    TraceGenerator,
+    concat_traces,
+    environment_by_name,
+    generate_trace,
+)
+from repro.sensors import mixed_mobility_script, pacing_script, stationary_script
+
+
+@pytest.fixture(scope="module")
+def office_mixed_trace():
+    return generate_trace(OFFICE, mixed_mobility_script(20.0), seed=11)
+
+
+class TestChannelTrace:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ChannelTrace(fates=np.ones((10, 3), dtype=bool),
+                         snr_db=np.ones(10), moving=np.zeros(10, dtype=bool))
+        with pytest.raises(ValueError):
+            ChannelTrace(fates=np.ones((10, 8), dtype=bool),
+                         snr_db=np.ones(9), moving=np.zeros(10, dtype=bool))
+
+    def test_duration(self, office_mixed_trace):
+        assert office_mixed_trace.duration_s == pytest.approx(20.0)
+        assert office_mixed_trace.n_slots == 4000
+
+    def test_slot_lookup_clamped(self, office_mixed_trace):
+        assert office_mixed_trace.slot_at(-1.0) == 0
+        assert office_mixed_trace.slot_at(1e9) == 3999
+
+    def test_window(self, office_mixed_trace):
+        sub = office_mixed_trace.window(5.0, 10.0)
+        assert sub.n_slots == 1000
+        assert np.array_equal(sub.fates, office_mixed_trace.fates[1000:2000])
+
+    def test_empty_window_rejected(self, office_mixed_trace):
+        with pytest.raises(ValueError):
+            office_mixed_trace.window(5.0, 5.0)
+
+    def test_delivery_prob_bounds(self, office_mixed_trace):
+        for r in range(8):
+            assert 0.0 <= office_mixed_trace.delivery_prob(r) <= 1.0
+
+    def test_delivery_series_buckets(self, office_mixed_trace):
+        series = office_mixed_trace.delivery_series(0, bucket_s=1.0)
+        assert len(series) == 20
+
+    def test_moving_fraction(self, office_mixed_trace):
+        assert office_mixed_trace.moving_fraction() == pytest.approx(0.5, abs=0.01)
+
+    def test_save_load_roundtrip(self, office_mixed_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        office_mixed_trace.save(path)
+        loaded = ChannelTrace.load(path)
+        assert np.array_equal(loaded.fates, office_mixed_trace.fates)
+        assert np.allclose(loaded.snr_db, office_mixed_trace.snr_db)
+        assert loaded.environment == office_mixed_trace.environment
+
+    def test_concat(self, office_mixed_trace):
+        double = concat_traces([office_mixed_trace, office_mixed_trace])
+        assert double.n_slots == 8000
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat_traces([])
+
+
+class TestTraceGenerator:
+    def test_deterministic(self):
+        a = generate_trace(OFFICE, stationary_script(5.0), seed=3)
+        b = generate_trace(OFFICE, stationary_script(5.0), seed=3)
+        assert np.array_equal(a.fates, b.fates)
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(OFFICE, stationary_script(5.0), seed=3)
+        b = generate_trace(OFFICE, stationary_script(5.0), seed=4)
+        assert not np.array_equal(a.fates, b.fates)
+
+    def test_moving_mask_matches_script(self):
+        trace = generate_trace(OFFICE, mixed_mobility_script(10.0), seed=0)
+        assert not trace.moving[:999].any()
+        assert trace.moving[1001:].all()
+
+    def test_slower_rates_deliver_more_on_average(self):
+        trace = generate_trace(OFFICE, mixed_mobility_script(20.0), seed=5)
+        deliveries = [trace.fates[:, r].mean() for r in range(8)]
+        # Allow small non-monotonicity from finite samples at the ends.
+        assert deliveries[0] >= deliveries[4] - 0.05
+        assert deliveries[4] >= deliveries[7] - 0.05
+
+    def test_static_snr_stable_mobile_varies(self):
+        static = generate_trace(OFFICE, stationary_script(20.0), seed=6)
+        mobile = generate_trace(OFFICE, pacing_script(20.0), seed=6)
+        assert static.snr_db.std() < mobile.snr_db.std()
+
+    def test_static_delivery_stable_per_second(self):
+        trace = generate_trace(OFFICE, stationary_script(20.0), seed=7)
+        buckets = trace.delivery_series(0, 1.0)
+        assert buckets.std() < 0.15
+
+    def test_floor_loss_bounds_static_delivery(self):
+        """Even a perfect link loses ~the floor fraction of slots."""
+        strong = OFFICE.with_distance(3.0)
+        trace = generate_trace(strong, stationary_script(60.0), seed=8)
+        delivery = trace.fates[:, 0].mean()
+        assert 0.96 < delivery < 0.999
+
+    def test_zero_floor_gives_perfect_strong_link(self):
+        strong = OFFICE.with_distance(3.0)
+        gen = TraceGenerator(strong, stationary_script(30.0), seed=8,
+                             floor_loss_prob=0.0)
+        assert gen.generate().fates[:, 0].mean() == 1.0
+
+    def test_packet_loss_series_rate(self):
+        gen = TraceGenerator(OFFICE, stationary_script(5.0), seed=9)
+        losses = gen.packet_loss_series(7, 5000.0)
+        assert len(losses) == 25000
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(OFFICE, stationary_script(1.0), floor_loss_prob=1.5)
+
+
+class TestEnvironments:
+    def test_pathloss_monotone_in_distance(self):
+        assert OFFICE.pathloss_db(10.0) < OFFICE.pathloss_db(20.0)
+
+    def test_mean_snr_decreases_with_distance(self):
+        assert OFFICE.mean_snr_db(5.0) > OFFICE.mean_snr_db(50.0)
+
+    def test_pathloss_clamped_below_1m(self):
+        assert OFFICE.pathloss_db(0.1) == OFFICE.pathloss_db(1.0)
+
+    def test_lookup(self):
+        assert environment_by_name("OFFICE") is OFFICE
+        with pytest.raises(ValueError):
+            environment_by_name("moon")
+
+    def test_with_distance(self):
+        env = HALLWAY.with_distance(10.0)
+        assert env.base_distance_m == 10.0
+        assert env.name == HALLWAY.name

@@ -1,0 +1,194 @@
+"""Road network, Manhattan mobility, links and Table 5.1 machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.hints import heading_difference_deg
+from repro.vehicular import (
+    LINK_RANGE_M,
+    LinkRecord,
+    cte,
+    extract_links,
+    grid_road_network,
+    link_cte,
+    median_duration_by_bucket,
+    node_position,
+    route_cte,
+    segment_heading_deg,
+    simulate_vehicles,
+)
+from repro.vehicular.mobility import VehicleNetwork, VehicleState, VehicleTrace
+from repro.core.hints import HeadingHint
+
+
+class TestRoadNetwork:
+    def test_grid_shape(self):
+        g = grid_road_network(4, 5)
+        assert g.number_of_nodes() == 20
+        assert g.number_of_edges() == 4 * 4 + 3 * 5
+
+    def test_headings_on_regular_grid(self):
+        g = grid_road_network(3, 3, jitter_m=0.0)
+        assert segment_heading_deg(g, (0, 0), (0, 1)) == pytest.approx(90.0)
+        assert segment_heading_deg(g, (0, 0), (1, 0)) == pytest.approx(0.0)
+
+    def test_jitter_moves_intersections(self):
+        regular = grid_road_network(3, 3, jitter_m=0.0)
+        jittered = grid_road_network(3, 3, jitter_m=30.0, seed=1)
+        assert node_position(regular, (1, 1)) != node_position(jittered, (1, 1))
+
+    def test_jitter_bounds(self):
+        g = grid_road_network(4, 4, block_m=100.0, jitter_m=20.0, seed=2)
+        for (r, c) in g.nodes:
+            x, y = node_position(g, (r, c))
+            assert abs(x - c * 100.0) <= 20.0
+            assert abs(y - r * 100.0) <= 20.0
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            grid_road_network(1, 5)
+
+    def test_rejects_excess_jitter(self):
+        with pytest.raises(ValueError):
+            grid_road_network(3, 3, block_m=100.0, jitter_m=60.0)
+
+
+class TestMobility:
+    def test_trace_lengths(self):
+        net = simulate_vehicles(n_vehicles=5, duration_s=30, seed=0)
+        assert net.n_vehicles == 5
+        assert all(len(t) == 30 for t in net.traces)
+
+    def test_speed_consistency(self):
+        """Per-second displacement matches the vehicle's cruise speed."""
+        net = simulate_vehicles(n_vehicles=4, duration_s=60, seed=1,
+                                heading_noise_deg=0.0)
+        for trace in net.traces:
+            positions = trace.positions()
+            steps = np.linalg.norm(np.diff(positions, axis=0), axis=1)
+            # Displacement can be shorter than path length at corners.
+            assert steps.max() <= trace.states[0].speed_mps + 1e-6
+
+    def test_headings_follow_motion(self):
+        net = simulate_vehicles(n_vehicles=3, duration_s=60, seed=2,
+                                heading_noise_deg=0.0)
+        trace = net.traces[0]
+        positions = trace.positions()
+        for t in range(5, 50):
+            dx = positions[t + 1, 0] - positions[t, 0]
+            dy = positions[t + 1, 1] - positions[t, 1]
+            if math.hypot(dx, dy) < 1.0:
+                continue
+            actual = math.degrees(math.atan2(dx, dy)) % 360.0
+            # The heading reported at t should roughly predict the step.
+            diff = heading_difference_deg(actual, trace.states[t].heading_deg)
+            if diff > 50.0:   # mid-intersection turns allowed occasionally
+                continue
+            assert diff <= 50.0
+
+    def test_deterministic(self):
+        a = simulate_vehicles(n_vehicles=3, duration_s=20, seed=3)
+        b = simulate_vehicles(n_vehicles=3, duration_s=20, seed=3)
+        assert np.allclose(a.positions_at(10), b.positions_at(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_vehicles(n_vehicles=1)
+        with pytest.raises(ValueError):
+            simulate_vehicles(duration_s=1)
+
+
+def synthetic_network(positions_by_time, headings):
+    """Build a VehicleNetwork from explicit per-second positions."""
+    n_vehicles = len(positions_by_time[0])
+    traces = []
+    for v in range(n_vehicles):
+        states = [
+            VehicleState(x_m=positions_by_time[t][v][0],
+                         y_m=positions_by_time[t][v][1],
+                         heading_deg=headings[v], speed_mps=10.0)
+            for t in range(len(positions_by_time))
+        ]
+        traces.append(VehicleTrace(vehicle_id=v, states=states))
+    return VehicleNetwork(traces=traces, duration_s=len(positions_by_time))
+
+
+class TestLinks:
+    def test_parallel_vehicles_long_link(self):
+        # Two vehicles 50 m apart moving identically: linked throughout.
+        pos = [[(0.0, t * 10.0), (50.0, t * 10.0)] for t in range(30)]
+        net = synthetic_network(pos, [0.0, 0.0])
+        links = extract_links(net)
+        assert len(links) == 1
+        assert links[0].duration_s == 30
+        assert links[0].initial_heading_diff_deg == pytest.approx(0.0)
+
+    def test_opposite_vehicles_short_link(self):
+        # Closing at 20 m/s from 400 m apart: within 100 m for ~10 s.
+        pos = [[(0.0, t * 10.0), (0.0, 400.0 - t * 10.0)] for t in range(40)]
+        net = synthetic_network(pos, [0.0, 180.0])
+        links = extract_links(net)
+        assert len(links) == 1
+        assert links[0].duration_s <= 11
+        assert links[0].initial_heading_diff_deg == pytest.approx(180.0)
+
+    def test_link_can_reform(self):
+        pos = ([[(0.0, 0.0), (0.0, 0.0)]] * 5
+               + [[(0.0, 0.0), (500.0, 0.0)]] * 5
+               + [[(0.0, 0.0), (0.0, 0.0)]] * 5)
+        net = synthetic_network(pos, [0.0, 0.0])
+        links = extract_links(net)
+        assert len(links) == 2
+
+    def test_bucket_medians(self):
+        links = [
+            LinkRecord(0, 1, 0, 60, 5.0),
+            LinkRecord(0, 2, 0, 30, 15.0),
+            LinkRecord(1, 2, 0, 10, 90.0),
+        ]
+        medians = median_duration_by_bucket(links)
+        assert medians["[0,10)"] == 60
+        assert medians["[10,20)"] == 30
+        assert medians["[30,180)"] == 10
+        assert medians["all"] == 30
+
+    def test_empty_links_rejected(self):
+        with pytest.raises(ValueError):
+            median_duration_by_bucket([])
+
+
+class TestTable51Shape:
+    def test_similar_headings_live_longer(self):
+        """The Table 5.1 headline: similar-heading links last several
+        times the all-links median."""
+        nets = [simulate_vehicles(n_vehicles=60, duration_s=200, seed=s)
+                for s in range(2)]
+        links = [l for net in nets for l in extract_links(net)]
+        medians = median_duration_by_bucket(links)
+        assert medians["[0,10)"] >= 2.5 * medians["all"]
+        assert medians["[0,10)"] > medians["[30,180)"]
+
+
+class TestCte:
+    def test_inverse_of_difference(self):
+        assert cte(10.0) == pytest.approx(0.1)
+
+    def test_clamps_small_angles(self):
+        assert cte(0.0) == cte(0.5) == 1.0
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            cte(200.0)
+
+    def test_link_cte_from_hints(self):
+        a, b = HeadingHint(0.0, 10.0), HeadingHint(0.0, 30.0)
+        assert link_cte(a, b) == pytest.approx(1.0 / 20.0)
+
+    def test_route_cte_is_min(self):
+        assert route_cte([5.0, 50.0, 20.0]) == pytest.approx(1.0 / 50.0)
+
+    def test_route_cte_empty_rejected(self):
+        with pytest.raises(ValueError):
+            route_cte([])
