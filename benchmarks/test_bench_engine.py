@@ -1,0 +1,83 @@
+"""Hot-loop microbenchmark: fast vs reference replay engine.
+
+One 60 s mixed-mobility office trace replayed under RapidSample/UDP --
+a saturated workload, so the per-attempt loop dominates.  The two
+benchmarks track both engines in the bench trajectory; the speedup test
+pins the fast path's reason to exist (>= 3x on this replay).
+"""
+
+import time
+
+from conftest import run_once
+
+import numpy as np
+
+from repro.channel import OFFICE, generate_trace
+from repro.mac import SimConfig, UdpSource, run_link
+from repro.rate import RapidSample
+from repro.sensors import mixed_mobility_script
+from repro.core.architecture import HintAwareNode
+
+_DURATION_S = 60.0
+_SEED = 0
+
+
+def _fixture():
+    script = mixed_mobility_script(_DURATION_S)
+    trace = generate_trace(OFFICE, script, seed=_SEED)
+    hints = HintAwareNode(script, seed=_SEED).movement_hint_series()
+    return trace, hints
+
+
+def _replay(trace, hints, engine):
+    return run_link(trace, RapidSample(), UdpSource(), hint_series=hints,
+                    config=SimConfig(seed=_SEED, engine=engine))
+
+
+def test_bench_engine_fast(benchmark):
+    trace, hints = _fixture()
+    result = run_once(benchmark, _replay, trace, hints, "fast")
+    print(f"\n[engine/fast] 60 s replay: {result.delivered} delivered, "
+          f"{result.attempts} attempts")
+    assert result.delivered > 0
+
+
+def test_bench_engine_reference(benchmark):
+    trace, hints = _fixture()
+    result = run_once(benchmark, _replay, trace, hints, "reference")
+    print(f"\n[engine/reference] 60 s replay: {result.delivered} delivered, "
+          f"{result.attempts} attempts")
+    assert result.delivered > 0
+
+
+def test_fast_engine_speedup_and_equivalence():
+    """The fast engine must be bit-identical and >= 3x faster on the
+    60 s single-link replay (best-of-5 to shrug off machine noise).
+
+    Wall-clock assertions only belong where benchmarks are wanted, so
+    this skips alongside the fixture-based benchmarks on images without
+    pytest-benchmark."""
+    import pytest
+
+    pytest.importorskip("pytest_benchmark")
+    trace, hints = _fixture()
+
+    def best_of(engine, rounds=5):
+        elapsed = []
+        result = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = _replay(trace, hints, engine)
+            elapsed.append(time.perf_counter() - start)
+        return min(elapsed), result
+
+    t_fast, fast = best_of("fast")
+    t_ref, ref = best_of("reference")
+    speedup = t_ref / t_fast
+    print(f"\n[engine speedup] reference {t_ref * 1e3:.0f} ms, "
+          f"fast {t_fast * 1e3:.0f} ms -> {speedup:.1f}x")
+    assert fast.delivered == ref.delivered
+    assert fast.dropped == ref.dropped
+    assert fast.attempts == ref.attempts
+    assert np.array_equal(fast.delivery_times_s, ref.delivery_times_s)
+    assert speedup >= 3.0

@@ -21,6 +21,7 @@ from .environments import (
 )
 from .trace import SLOT_S, ChannelTrace, concat_traces
 from .tracegen import TraceGenerator, generate_packet_loss_series, generate_trace
+from .store import STORE_VERSION, TraceStore, default_store_root, get_store
 from .gilbert import GilbertElliott
 
 __all__ = [
@@ -51,5 +52,9 @@ __all__ = [
     "TraceGenerator",
     "generate_trace",
     "generate_packet_loss_series",
+    "STORE_VERSION",
+    "TraceStore",
+    "default_store_root",
+    "get_store",
     "GilbertElliott",
 ]

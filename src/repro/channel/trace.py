@@ -132,29 +132,38 @@ class ChannelTrace:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The trace as a flat array mapping (the single npz schema,
+        shared by :meth:`save` and the trace store)."""
+        return {
+            "fates": self.fates,
+            "snr_db": self.snr_db,
+            "moving": self.moving,
+            "environment": np.array(self.environment),
+            "seed": np.array(self.seed),
+            "slot_s": np.array(self.slot_s),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "ChannelTrace":
+        """Inverse of :meth:`to_arrays`."""
+        return cls(
+            fates=arrays["fates"],
+            snr_db=arrays["snr_db"],
+            moving=arrays["moving"],
+            environment=str(arrays["environment"]),
+            seed=int(arrays["seed"]),
+            slot_s=float(arrays["slot_s"]),
+        )
+
     def save(self, path: str | Path) -> None:
         """Write the trace as a compressed .npz archive."""
-        np.savez_compressed(
-            Path(path),
-            fates=self.fates,
-            snr_db=self.snr_db,
-            moving=self.moving,
-            environment=np.array(self.environment),
-            seed=np.array(self.seed),
-            slot_s=np.array(self.slot_s),
-        )
+        np.savez_compressed(Path(path), **self.to_arrays())
 
     @classmethod
     def load(cls, path: str | Path) -> "ChannelTrace":
         with np.load(Path(path)) as data:
-            return cls(
-                fates=data["fates"],
-                snr_db=data["snr_db"],
-                moving=data["moving"],
-                environment=str(data["environment"]),
-                seed=int(data["seed"]),
-                slot_s=float(data["slot_s"]),
-            )
+            return cls.from_arrays({name: data[name] for name in data.files})
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

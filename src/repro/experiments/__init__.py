@@ -13,12 +13,14 @@ from . import (
     fig3_8,
     fig4_x,
     fig5_1,
+    parallel,
     route_stability,
     table5_1,
 )
 
 __all__ = [
     "common",
+    "parallel",
     "fig2_2",
     "fig3_1",
     "fig3_5",

@@ -13,42 +13,23 @@ and normalisation:
 SampleRate gets the paper's post-facto bias: for each trace the best of
 several window parameters is kept ("we post-process the trace to
 determine the best SampleRate parameter to use in each case").
+
+The full grid (environments x traces x protocols) is submitted through
+:class:`~repro.experiments.parallel.ExperimentPool`; pass ``jobs=N`` (or
+set the runner's ``--jobs``) to fan the replays over worker processes.
+Results are identical for any job count.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..mac import SimConfig, TcpSource, UdpSource, mean_confidence_interval, normalise_to, run_link
-from ..rate import SampleRate
-from .common import (
-    INDOOR_OUTDOOR_ENVS,
-    RATE_PROTOCOLS,
-    cached_hints,
-    cached_trace,
-    print_table,
-    protocol_throughput,
-)
+from ..channel import get_store
+from ..mac import mean_confidence_interval, normalise_to
+from .common import INDOOR_OUTDOOR_ENVS, RATE_PROTOCOLS, print_table
+from .parallel import ExperimentPool, ThroughputTask, warm_cache_task
 
 __all__ = ["run_comparison", "run", "main"]
-
-#: SampleRate windows tried per trace for the post-facto best (s).
-_SAMPLERATE_WINDOWS_S = (2.0, 5.0, 10.0)
-
-
-def _best_samplerate_throughput(env: str, mode: str, seed: int,
-                                duration_s: float, tcp: bool) -> float:
-    """The paper's bias in SampleRate's favour: best window per trace."""
-    trace = cached_trace(env, mode, seed, duration_s)
-    hints = cached_hints(mode, seed, duration_s)
-    best = 0.0
-    for window_s in _SAMPLERATE_WINDOWS_S:
-        controller = SampleRate(window_s=window_s)
-        traffic = TcpSource() if tcp else UdpSource()
-        result = run_link(trace, controller, traffic=traffic,
-                          hint_series=hints, config=SimConfig(seed=seed))
-        best = max(best, result.throughput_mbps)
-    return best
 
 
 def run_comparison(
@@ -59,25 +40,52 @@ def run_comparison(
     tcp: bool = True,
     normalise: str = "HintAware",
     seed0: int = 0,
+    jobs: int | None = None,
 ) -> dict:
     """Mean normalised throughput per protocol per environment.
 
     Returns ``{env: {protocol: normalised mean}}`` plus confidence
     half-widths and the absolute reference throughput.
     """
+    pool = ExperimentPool(jobs)
+    if pool.jobs > 1 and get_store().enabled:
+        # Cold-store pre-warm: one worker per unique artefact, so the
+        # six protocol replays sharing a trace never regenerate it in
+        # parallel (hints are env-independent, hence the separate
+        # list).  A warm store makes this a cheap no-op pass.
+        pool.map(
+            warm_cache_task,
+            [("trace", env, mode, seed0 + i, duration_s)
+             for env in environments for i in range(n_traces)]
+            + [("hints", mode, seed0 + i, duration_s)
+               for i in range(n_traces)],
+        )
+
+    protocols = list(RATE_PROTOCOLS)
+    tasks = [
+        ThroughputTask(
+            protocol=protocol,
+            env=env,
+            mode=mode,
+            seed=seed0 + i,
+            duration_s=duration_s,
+            tcp=tcp,
+            best_samplerate=(protocol == "SampleRate"),
+        )
+        for env in environments
+        for i in range(n_traces)
+        for protocol in protocols
+    ]
+    throughputs = pool.throughputs(tasks)
+
     out: dict = {"mode": mode, "normalise": normalise, "envs": {}}
+    cursor = 0
     for env in environments:
-        per_protocol: dict[str, list[float]] = {p: [] for p in RATE_PROTOCOLS}
-        for i in range(n_traces):
-            seed = seed0 + i
-            for protocol in RATE_PROTOCOLS:
-                if protocol == "SampleRate":
-                    tput = _best_samplerate_throughput(
-                        env, mode, seed, duration_s, tcp)
-                else:
-                    tput = protocol_throughput(
-                        protocol, env, mode, seed, duration_s, tcp)
-                per_protocol[protocol].append(tput)
+        per_protocol: dict[str, list[float]] = {p: [] for p in protocols}
+        for _ in range(n_traces):
+            for protocol in protocols:
+                per_protocol[protocol].append(throughputs[cursor])
+                cursor += 1
         means = {p: float(np.mean(v)) for p, v in per_protocol.items()}
         normalised = normalise_to(means, normalise)
         cis = {
@@ -94,13 +102,13 @@ def run_comparison(
     return out
 
 
-def run(seed: int = 0, n_traces: int = 10) -> dict:
+def run(seed: int = 0, n_traces: int = 10, jobs: int | None = None) -> dict:
     """Figure 3-5 proper: mixed-mobility TCP, normalised to hint-aware."""
-    return run_comparison("mixed", n_traces=n_traces, seed0=seed)
+    return run_comparison("mixed", n_traces=n_traces, seed0=seed, jobs=jobs)
 
 
-def main(seed: int = 0, n_traces: int = 10) -> dict:
-    result = run(seed, n_traces)
+def main(seed: int = 0, n_traces: int = 10, jobs: int | None = None) -> dict:
+    result = run(seed, n_traces, jobs=jobs)
     for env, data in result["envs"].items():
         print_table(
             f"Figure 3-5 ({env}): throughput / hint-aware, mixed mobility",

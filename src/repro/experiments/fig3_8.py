@@ -14,7 +14,7 @@ from .fig3_5 import run_comparison
 __all__ = ["run", "main"]
 
 
-def run(seed: int = 0, n_traces: int = 10) -> dict:
+def run(seed: int = 0, n_traces: int = 10, jobs: int | None = None) -> dict:
     return run_comparison(
         "vehicular",
         environments=("vehicular",),
@@ -23,11 +23,12 @@ def run(seed: int = 0, n_traces: int = 10) -> dict:
         tcp=False,
         normalise="RapidSample",
         seed0=seed,
+        jobs=jobs,
     )
 
 
-def main(seed: int = 0, n_traces: int = 10) -> dict:
-    result = run(seed, n_traces)
+def main(seed: int = 0, n_traces: int = 10, jobs: int | None = None) -> dict:
+    result = run(seed, n_traces, jobs=jobs)
     data = result["envs"]["vehicular"]
     print_table(
         "Figure 3-8 (vehicular): UDP throughput / RapidSample",

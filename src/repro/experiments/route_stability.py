@@ -10,8 +10,16 @@ from __future__ import annotations
 
 from ..vehicular import compare_route_stability, simulate_vehicles
 from .common import print_table
+from .parallel import ExperimentPool
 
 __all__ = ["run", "main"]
+
+
+def _simulate_network(args: tuple[int, int, int]) -> object:
+    """Worker: one dense downtown network (picklable top-level task)."""
+    n_vehicles, duration_s, seed = args
+    return simulate_vehicles(n_vehicles=n_vehicles, duration_s=duration_s,
+                             rows=5, cols=5, seed=seed)
 
 
 def run(
@@ -20,14 +28,15 @@ def run(
     duration_s: int = 300,
     n_pairs_per_network: int = 30,
     seed0: int = 0,
+    jobs: int | None = None,
 ) -> dict:
     # Dense downtown traffic (the paper's taxi networks): routes to
-    # nearby infrastructure over 2-3 hops.
-    networks = [
-        simulate_vehicles(n_vehicles=n_vehicles, duration_s=duration_s,
-                          rows=5, cols=5, seed=seed0 + i)
-        for i in range(n_networks)
-    ]
+    # nearby infrastructure over 2-3 hops.  Network simulations are
+    # independent, so they fan out over the pool.
+    networks = ExperimentPool(jobs).map(
+        _simulate_network,
+        [(n_vehicles, duration_s, seed0 + i) for i in range(n_networks)],
+    )
     result = compare_route_stability(
         networks, n_pairs_per_network=n_pairs_per_network, max_hops=3,
         seed=seed0
@@ -40,8 +49,8 @@ def run(
     }
 
 
-def main(seed: int = 0, n_networks: int = 6) -> dict:
-    result = run(n_networks=n_networks, seed0=seed)
+def main(seed: int = 0, n_networks: int = 6, jobs: int | None = None) -> dict:
+    result = run(n_networks=n_networks, seed0=seed, jobs=jobs)
     print_table("Route stability: CTE vs min-hop", {
         "median CTE route lifetime (s)": result["median_cte_lifetime_s"],
         "median min-hop lifetime (s)": result["median_minhop_lifetime_s"],

@@ -1,8 +1,11 @@
 """Run the whole evaluation (every table and figure) and print a report.
 
-``python -m repro.experiments.runner [--quick]`` -- the --quick flag
-shrinks trace counts so the suite finishes in a couple of minutes;
-the full settings mirror the paper's trace counts.
+``python -m repro.experiments.runner [--quick] [--jobs N]`` -- the
+--quick flag shrinks trace counts so the suite finishes in a couple of
+minutes; the full settings mirror the paper's trace counts.  --jobs fans
+the per-figure task grids over N worker processes (results are
+identical for any N); generated traces are shared across workers and
+runs via the on-disk trace store (see :mod:`repro.channel.store`).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from . import (
     fig3_8,
     fig4_x,
     fig5_1,
+    parallel,
     route_stability,
     table5_1,
 )
@@ -33,7 +37,14 @@ def main(argv: list[str] | None = None) -> dict:
     parser.add_argument("--quick", action="store_true",
                         help="smaller trace counts (minutes, not tens)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the experiment fan-outs "
+                             "(default: REPRO_JOBS or 1)")
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        parallel.set_default_jobs(args.jobs)
+    jobs = parallel.default_jobs()
 
     n_traces = 4 if args.quick else 10
     n_networks = 4 if args.quick else 15
@@ -42,14 +53,14 @@ def main(argv: list[str] | None = None) -> dict:
     stages = [
         ("fig2_2", lambda: fig2_2.main(args.seed)),
         ("fig3_1", lambda: fig3_1.main(args.seed)),
-        ("fig3_5", lambda: fig3_5.main(args.seed, n_traces)),
-        ("fig3_6", lambda: fig3_6.main(args.seed, n_traces)),
-        ("fig3_7", lambda: fig3_7.main(args.seed, n_traces)),
-        ("fig3_8", lambda: fig3_8.main(args.seed, n_traces)),
-        ("fig4_x", lambda: fig4_x.main(args.seed)),
-        ("table5_1", lambda: table5_1.main(args.seed, n_networks)),
+        ("fig3_5", lambda: fig3_5.main(args.seed, n_traces, jobs=jobs)),
+        ("fig3_6", lambda: fig3_6.main(args.seed, n_traces, jobs=jobs)),
+        ("fig3_7", lambda: fig3_7.main(args.seed, n_traces, jobs=jobs)),
+        ("fig3_8", lambda: fig3_8.main(args.seed, n_traces, jobs=jobs)),
+        ("fig4_x", lambda: fig4_x.main(args.seed, jobs=jobs)),
+        ("table5_1", lambda: table5_1.main(args.seed, n_networks, jobs=jobs)),
         ("route_stability", lambda: route_stability.main(
-            args.seed, max(4, n_networks // 2))),
+            args.seed, max(4, n_networks // 2), jobs=jobs)),
         ("fig5_1", lambda: fig5_1.main(args.seed)),
         ("extras", lambda: extras.main(args.seed)),
     ]

@@ -15,11 +15,35 @@ The simulator also feeds the sender side channels the paper grants:
   SNR"), modelled as the previous slot's SNR.
 
 Controllers are duck-typed; :mod:`repro.rate.base` provides the ABC.
+
+Engines
+-------
+Two replay engines share identical semantics and RNG streams, selected by
+``SimConfig(engine=...)``:
+
+* ``"fast"`` (default) -- the hot path.  Integer-microsecond clock,
+  direct indexing into per-slot arrays materialised once per run (fates
+  row pointers, SNR series, hint-transition edge list walked by a
+  cursor), block-drawn randomness (backoff uniforms, floor-loss
+  uniforms, SNR-noise normals refilled 1024 at a time), per-rate airtime
+  tables, and a preallocated delivery-time buffer.
+* ``"reference"`` -- the readable per-attempt loop, retained as the
+  executable specification for equivalence testing.
+
+Randomness is split into four independent streams spawned from
+``SeedSequence(config.seed)`` -- calibration bias, SNR observation noise,
+backoff, floor loss -- so both engines consume the exact same variates
+regardless of draw batching (numpy ``Generator`` block draws are
+stream-identical to repeated scalar draws).  ``run()`` re-derives the
+streams on every call, so a simulator instance replays identically each
+time.  The fast engine quantises traffic-source release times to whole
+microseconds; both built-in sources only ever return whole microseconds,
+so the engines agree exactly on them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -31,7 +55,22 @@ from ..core.hints import MovementHint
 from . import timing
 from .traffic import TrafficSource, UdpSource
 
-__all__ = ["RateControllerLike", "SimConfig", "SimResult", "LinkSimulator", "run_link"]
+__all__ = [
+    "ENGINES",
+    "RateControllerLike",
+    "SimConfig",
+    "SimResult",
+    "LinkSimulator",
+    "run_link",
+]
+
+#: Replay engines accepted by :attr:`SimConfig.engine`.
+ENGINES = ("fast", "reference")
+
+#: Block size for the fast engine's batched RNG refills.
+_RNG_BLOCK = 1024
+
+_INF = float("inf")
 
 
 @runtime_checkable
@@ -81,6 +120,15 @@ class SimConfig:
     #: steps one rate lower.  0 disables the ladder.
     retry_ladder_after: int = 5
     seed: int = 0
+    #: Replay engine: ``"fast"`` (batched hot path) or ``"reference"``
+    #: (the per-attempt specification loop).  Results are identical.
+    engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
 
 
 @dataclass
@@ -98,6 +146,16 @@ class SimResult:
     delivery_times_s: np.ndarray
 
     @property
+    def packets_offered(self) -> int:
+        """Payload packets the MAC finished serving (delivered or dropped).
+
+        A packet still in flight when the trace ends counts as dropped,
+        so ``delivered + dropped`` accounts for every packet the traffic
+        source released.
+        """
+        return self.delivered + self.dropped
+
+    @property
     def throughput_mbps(self) -> float:
         if self.duration_s <= 0:
             return 0.0
@@ -105,21 +163,46 @@ class SimResult:
 
     @property
     def loss_rate(self) -> float:
-        total = self.delivered + self.dropped
+        total = self.packets_offered
         return self.dropped / total if total else 0.0
 
     @property
     def attempts_per_packet(self) -> float:
-        total = self.delivered + self.dropped
+        total = self.packets_offered
         return self.attempts / total if total else 0.0
 
     def throughput_series_mbps(self, bucket_s: float = 1.0) -> np.ndarray:
         """Per-bucket delivered throughput (for Figure 5-1 style plots)."""
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
         n_buckets = int(np.ceil(self.duration_s / bucket_s))
+        if n_buckets <= 0:
+            return np.zeros(0)
         counts = np.zeros(n_buckets)
-        idx = np.minimum((self.delivery_times_s / bucket_s).astype(int), n_buckets - 1)
-        np.add.at(counts, idx, 1.0)
+        times = np.asarray(self.delivery_times_s, dtype=np.float64)
+        if times.size:
+            idx = np.minimum((times / bucket_s).astype(int), n_buckets - 1)
+            np.add.at(counts, idx, 1.0)
         return counts * self.payload_bytes * 8.0 / bucket_s / 1e6
+
+
+def _rng_streams(
+    seed: int,
+) -> tuple[np.random.Generator, np.random.Generator, np.random.Generator,
+           np.random.Generator]:
+    """Four independent per-purpose streams for one replay.
+
+    Splitting by purpose (rather than interleaving one stream) is what
+    lets the fast engine batch its draws while staying bit-identical to
+    the reference loop.
+    """
+    bias_ss, snr_ss, backoff_ss, floor_ss = np.random.SeedSequence(seed).spawn(4)
+    return (
+        np.random.default_rng(bias_ss),
+        np.random.default_rng(snr_ss),
+        np.random.default_rng(backoff_ss),
+        np.random.default_rng(floor_ss),
+    )
 
 
 class LinkSimulator:
@@ -138,22 +221,51 @@ class LinkSimulator:
         self._traffic = traffic if traffic is not None else UdpSource()
         self._hints = hint_series
         self._config = config if config is not None else SimConfig()
-        self._rng = np.random.default_rng(self._config.seed)
-        self._snr_bias_db = (
-            float(self._rng.normal(0.0, self._config.snr_calibration_error_db))
-            if self._config.snr_calibration_error_db > 0
-            else 0.0
-        )
 
-    def _backoff_us(self, retry_count: int) -> float:
-        if not self._config.use_backoff:
-            return 0.0
-        cw = min(timing.CW_MAX, (timing.CW_MIN + 1) * (2 ** retry_count) - 1)
-        return float(self._rng.integers(0, cw + 1)) * timing.SLOT_TIME_US
+    # ------------------------------------------------------------------
+    # Shared pieces
+    # ------------------------------------------------------------------
+    def _draw_bias_db(self, bias_rng: np.random.Generator) -> float:
+        cfg = self._config
+        if cfg.snr_calibration_error_db > 0:
+            return float(
+                bias_rng.standard_normal() * cfg.snr_calibration_error_db
+            )
+        return 0.0
+
+    def _hint_edges(self) -> tuple[list[float], list[bool]]:
+        """Hint-transition edge list: (time, new truth value) pairs.
+
+        Collapses :meth:`HintSeries.edges` to its *boolean* transitions;
+        walking this list with a cursor reproduces
+        ``bool(HintSeries.value_at(t, default=False))`` for monotonically
+        non-decreasing ``t``.
+        """
+        edge_t: list[float] = []
+        edge_v: list[bool] = []
+        prev: bool | None = None
+        assert self._hints is not None
+        for t, v in self._hints.edges():
+            b = bool(v)
+            if b != prev:
+                edge_t.append(t)
+                edge_v.append(b)
+                prev = b
+        return edge_t, edge_v
 
     def run(self) -> SimResult:
+        if self._config.engine == "reference":
+            return self._run_reference()
+        return self._run_fast()
+
+    # ------------------------------------------------------------------
+    # Reference engine: the executable specification
+    # ------------------------------------------------------------------
+    def _run_reference(self) -> SimResult:
         cfg = self._config
         trace = self._trace
+        bias_rng, snr_rng, backoff_rng, floor_rng = _rng_streams(cfg.seed)
+        snr_bias_db = self._draw_bias_db(bias_rng)
         duration_us = trace.duration_s * 1e6
         t_us = 0.0
         delivered = 0
@@ -167,7 +279,7 @@ class LinkSimulator:
         while t_us < duration_us:
             send_at = self._traffic.next_send_time_us(t_us)
             if send_at > t_us:
-                if send_at >= duration_us or send_at == float("inf"):
+                if send_at >= duration_us or send_at == _INF:
                     break
                 t_us = send_at
                 continue
@@ -190,9 +302,9 @@ class LinkSimulator:
 
                 if cfg.snr_feedback:
                     prev_slot_t = max(0.0, now_s - trace.slot_s)
-                    observed = trace.snr_at(prev_slot_t) + self._snr_bias_db
+                    observed = trace.snr_at(prev_slot_t) + snr_bias_db
                     if cfg.snr_obs_noise_db > 0:
-                        observed += self._rng.normal(0.0, cfg.snr_obs_noise_db)
+                        observed += cfg.snr_obs_noise_db * snr_rng.standard_normal()
                     self._controller.observe_snr(observed, now_ms)
 
                 rate = int(self._controller.choose_rate(now_ms))
@@ -203,10 +315,13 @@ class LinkSimulator:
                     # the configured attempts are exhausted.
                     rate = max(0, rate - (retries - cfg.retry_ladder_after))
 
-                t_us += self._backoff_us(retries)
+                if cfg.use_backoff:
+                    cw = timing.contention_window(retries)
+                    slots = int(backoff_rng.random() * (cw + 1))
+                    t_us += float(slots) * timing.SLOT_TIME_US
                 success = trace.fate(t_us / 1e6, rate)
                 if success and cfg.floor_loss_prob > 0:
-                    success = self._rng.random() >= cfg.floor_loss_prob
+                    success = floor_rng.random() >= cfg.floor_loss_prob
                 if success:
                     t_us += timing.exchange_airtime_us(rate, cfg.payload_bytes)
                 else:
@@ -228,6 +343,10 @@ class LinkSimulator:
                     self._traffic.on_dropped(t_us)
                     break
                 if t_us >= duration_us:
+                    # Trace ended mid-service: the in-flight packet was
+                    # offered but never ACKed, so it counts as dropped
+                    # (no traffic timeout -- the run is over).
+                    dropped += 1
                     break
 
         return SimResult(
@@ -238,7 +357,192 @@ class LinkSimulator:
             payload_bytes=cfg.payload_bytes,
             rate_attempts=rate_attempts,
             rate_successes=rate_successes,
-            delivery_times_s=np.asarray(delivery_times),
+            delivery_times_s=np.asarray(delivery_times, dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------
+    # Fast engine: the hot path
+    # ------------------------------------------------------------------
+    def _run_fast(self) -> SimResult:
+        cfg = self._config
+        trace = self._trace
+        controller = self._controller
+        traffic = self._traffic
+        bias_rng, snr_rng, backoff_rng, floor_rng = _rng_streams(cfg.seed)
+        snr_bias_db = self._draw_bias_db(bias_rng)
+
+        # --- Per-slot arrays, materialised once -----------------------
+        fate_rows = trace.fates.tolist()        # row pointers: list[list[bool]]
+        snr_series = trace.snr_db.tolist()
+        slot_s = trace.slot_s
+        n_slots = trace.n_slots
+        last_slot = n_slots - 1
+        duration_us = trace.duration_s * 1e6
+
+        # --- Per-rate airtime tables (whole microseconds) -------------
+        # 802.11a airtimes are integral; keep exact floats if a custom
+        # timing table ever makes them fractional.
+        def _exact(us: float) -> int | float:
+            return int(us) if float(us).is_integer() else us
+
+        ok_us = [_exact(timing.exchange_airtime_us(r, cfg.payload_bytes))
+                 for r in range(N_RATES)]
+        fail_us = [_exact(timing.failed_exchange_us(r, cfg.payload_bytes))
+                   for r in range(N_RATES)]
+        slot_time_us = _exact(timing.SLOT_TIME_US)
+        cw_plus1 = [timing.contention_window(r) + 1 for r in range(16)]
+
+        # --- Hint edge list + cursor ----------------------------------
+        have_hints = self._hints is not None
+        if have_hints:
+            hint_times, hint_vals = self._hint_edges()
+            hint_n = len(hint_times)
+        else:
+            hint_times, hint_vals, hint_n = [], [], 0
+        hint_i = 0
+        hint_cur = False                        # value_at default
+        hint_delay_s = cfg.hint_delay_s
+        last_hint: bool | None = None
+
+        # --- Block-drawn randomness -----------------------------------
+        # Buffers hold a reversed block so list.pop() (a C call, no
+        # Python frame) yields draws in generator order; popping an
+        # empty buffer triggers a refill via IndexError (~1/block).
+        backoff_buf: list[float] = []
+        floor_buf: list[float] = []
+        noise_buf: list[float] = []
+
+        # --- Preallocated result buffers ------------------------------
+        delivery_buf = np.empty(4096, dtype=np.float64)
+        n_deliv = 0
+        rate_attempts = [0] * N_RATES
+        rate_successes = [0] * N_RATES
+
+        snr_feedback = cfg.snr_feedback
+        noise_db = cfg.snr_obs_noise_db
+        floor_p = cfg.floor_loss_prob
+        use_backoff = cfg.use_backoff
+        ladder_after = cfg.retry_ladder_after
+        retry_limit = cfg.retry_limit
+
+        # Bound-method hoists: attribute lookups out of the hot loop.
+        next_send_time_us = traffic.next_send_time_us
+        on_delivered = traffic.on_delivered
+        on_dropped = traffic.on_dropped
+        observe_snr = controller.observe_snr
+        choose_rate = controller.choose_rate
+        on_result = controller.on_result
+        on_hint = controller.on_hint
+
+        t = 0                                   # integer microseconds
+        delivered = 0
+        dropped = 0
+        attempts_total = 0
+
+        while t < duration_us:
+            send_at = next_send_time_us(t)
+            if send_at > t:
+                if send_at >= duration_us or send_at == _INF:
+                    break
+                t = int(send_at)
+                continue
+
+            retries = 0
+            while True:
+                now_s = t / 1e6
+                now_ms = t / 1e3
+
+                if have_hints:
+                    q = now_s - hint_delay_s
+                    while hint_i < hint_n and hint_times[hint_i] <= q:
+                        hint_cur = hint_vals[hint_i]
+                        hint_i += 1
+                    if hint_cur != last_hint:
+                        on_hint(MovementHint(time_s=now_s, moving=hint_cur))
+                        last_hint = hint_cur
+
+                if snr_feedback:
+                    prev_slot_t = now_s - slot_s
+                    if prev_slot_t < 0.0:
+                        prev_slot_t = 0.0
+                    slot = int(prev_slot_t / slot_s)
+                    if slot > last_slot:
+                        slot = last_slot
+                    observed = snr_series[slot] + snr_bias_db
+                    if noise_db > 0:
+                        try:
+                            z = noise_buf.pop()
+                        except IndexError:
+                            noise_buf = snr_rng.standard_normal(
+                                _RNG_BLOCK)[::-1].tolist()
+                            z = noise_buf.pop()
+                        observed += noise_db * z
+                    observe_snr(observed, now_ms)
+
+                rate = int(choose_rate(now_ms))
+                if not 0 <= rate < N_RATES:
+                    raise ValueError(f"controller chose invalid rate {rate}")
+                if 0 < ladder_after < retries:
+                    rate = rate - (retries - ladder_after)
+                    if rate < 0:
+                        rate = 0
+
+                if use_backoff:
+                    try:
+                        u = backoff_buf.pop()
+                    except IndexError:
+                        backoff_buf = backoff_rng.random(
+                            _RNG_BLOCK)[::-1].tolist()
+                        u = backoff_buf.pop()
+                    cw1 = cw_plus1[retries if retries < 15 else 15]
+                    t += int(u * cw1) * slot_time_us
+                slot = int((t / 1e6) / slot_s)
+                if slot > last_slot:
+                    slot = last_slot
+                success = fate_rows[slot][rate]
+                if success and floor_p > 0:
+                    try:
+                        u = floor_buf.pop()
+                    except IndexError:
+                        floor_buf = floor_rng.random(_RNG_BLOCK)[::-1].tolist()
+                        u = floor_buf.pop()
+                    success = u >= floor_p
+                t += ok_us[rate] if success else fail_us[rate]
+
+                attempts_total += 1
+                rate_attempts[rate] += 1
+                on_result(rate, success, t / 1e3)
+
+                if success:
+                    rate_successes[rate] += 1
+                    delivered += 1
+                    if n_deliv == len(delivery_buf):
+                        delivery_buf = np.concatenate(
+                            [delivery_buf, np.empty_like(delivery_buf)]
+                        )
+                    delivery_buf[n_deliv] = t / 1e6
+                    n_deliv += 1
+                    on_delivered(t)
+                    break
+                retries += 1
+                if retries > retry_limit:
+                    dropped += 1
+                    on_dropped(t)
+                    break
+                if t >= duration_us:
+                    # In-flight packet at trace end counts as dropped.
+                    dropped += 1
+                    break
+
+        return SimResult(
+            duration_s=trace.duration_s,
+            delivered=delivered,
+            dropped=dropped,
+            attempts=attempts_total,
+            payload_bytes=cfg.payload_bytes,
+            rate_attempts=np.asarray(rate_attempts, dtype=np.int64),
+            rate_successes=np.asarray(rate_successes, dtype=np.int64),
+            delivery_times_s=delivery_buf[:n_deliv].copy(),
         )
 
 

@@ -22,6 +22,7 @@ __all__ = [
     "ACK_BYTES",
     "CW_MIN",
     "CW_MAX",
+    "contention_window",
     "data_airtime_us",
     "ack_airtime_us",
     "ack_rate_index",
@@ -93,16 +94,21 @@ def failed_exchange_us(rate_index: int, n_bytes: int) -> float:
     )
 
 
-def mean_backoff_us(retry_count: int) -> float:
-    """Expected backoff before (re)transmission attempt ``retry_count``.
+def contention_window(retry_count: int) -> int:
+    """Contention window before (re)transmission attempt ``retry_count``.
 
-    Contention window doubles per retry: CW = min(CW_MAX,
-    (CW_MIN + 1) * 2^retries - 1); expected wait is CW/2 slots.
+    Doubles per retry: CW = min(CW_MAX, (CW_MIN + 1) * 2^retries - 1);
+    saturates at CW_MAX from the sixth retry on.
     """
     if retry_count < 0:
         raise ValueError("retry count must be non-negative")
-    cw = min(CW_MAX, (CW_MIN + 1) * (2 ** retry_count) - 1)
-    return cw / 2.0 * SLOT_TIME_US
+    return min(CW_MAX, (CW_MIN + 1) * (2 ** retry_count) - 1)
+
+
+def mean_backoff_us(retry_count: int) -> float:
+    """Expected backoff before (re)transmission attempt ``retry_count``:
+    CW/2 slots."""
+    return contention_window(retry_count) / 2.0 * SLOT_TIME_US
 
 
 def lossless_throughput_mbps(rate_index: int, n_bytes: int = 1000) -> float:

@@ -6,7 +6,7 @@ import pytest
 from repro.channel import ChannelTrace, OFFICE, generate_trace
 from repro.channel.rates import N_RATES
 from repro.core.architecture import HintSeries
-from repro.mac import SimConfig, TcpSource, UdpSource, run_link, timing
+from repro.mac import SimConfig, SimResult, TcpSource, UdpSource, run_link, timing
 from repro.rate import FixedRate, OracleRate, RapidSample, HintAwareRateController
 from repro.sensors import mixed_mobility_script, stationary_script
 
@@ -123,6 +123,93 @@ class TestHintDelivery:
                  config=SimConfig(seed=0, hint_delay_s=10.0))
         # With a 10 s protocol delay nothing arrives within 1 s.
         assert controller.switch_count == 0
+
+
+class _CountingSource:
+    """Spy traffic source: independently counts MAC outcome callbacks."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.delivered = 0
+        self.drops = 0
+
+    def next_send_time_us(self, now_us):
+        return self.inner.next_send_time_us(now_us)
+
+    def on_delivered(self, now_us):
+        self.delivered += 1
+        self.inner.on_delivered(now_us)
+
+    def on_dropped(self, now_us):
+        self.drops += 1
+        self.inner.on_dropped(now_us)
+
+
+class TestPacketAccounting:
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_counts_match_traffic_callbacks(self, engine):
+        """Delivered/dropped counts agree with what the traffic source
+        observed, except for at most one in-flight packet at trace end
+        (dropped for accounting but past the source's notification)."""
+        trace = generate_trace(OFFICE, mixed_mobility_script(5.0), seed=1)
+        for inner in (UdpSource(), TcpSource()):
+            spy = _CountingSource(inner)
+            result = run_link(trace, RapidSample(), spy,
+                              config=SimConfig(seed=0, engine=engine))
+            assert result.delivered == spy.delivered
+            assert result.dropped - spy.drops in (0, 1)
+            assert result.attempts >= result.packets_offered
+
+    def test_truncated_inflight_packet_counts_as_dropped(self):
+        """A dead trace so short that the retry loop outlives it: the
+        in-flight packet must be accounted (as a drop), not vanish."""
+        n = 2  # 10 ms of trace; one retry chain takes much longer
+        trace = ChannelTrace(fates=np.zeros((n, N_RATES), dtype=bool),
+                             snr_db=np.full(n, -10.0),
+                             moving=np.zeros(n, dtype=bool))
+        for engine in ("fast", "reference"):
+            result = run_link(trace, FixedRate(0), UdpSource(),
+                              config=SimConfig(seed=0, engine=engine,
+                                               retry_limit=1000))
+            assert result.delivered == 0
+            assert result.dropped == 1
+            assert result.packets_offered == 1
+            assert result.attempts >= 1
+
+
+class TestSimResultEdgeCases:
+    def _result(self, duration_s, delivery_times):
+        return SimResult(
+            duration_s=duration_s, delivered=len(delivery_times),
+            dropped=0, attempts=len(delivery_times), payload_bytes=1000,
+            rate_attempts=np.zeros(N_RATES, dtype=np.int64),
+            rate_successes=np.zeros(N_RATES, dtype=np.int64),
+            delivery_times_s=np.asarray(delivery_times, dtype=np.float64))
+
+    def test_series_with_zero_deliveries(self):
+        series = self._result(3.0, []).throughput_series_mbps(1.0)
+        assert len(series) == 3
+        assert (series == 0.0).all()
+
+    def test_series_with_zero_duration(self):
+        series = self._result(0.0, []).throughput_series_mbps(1.0)
+        assert len(series) == 0
+
+    def test_series_with_sub_bucket_duration(self):
+        series = self._result(0.4, [0.1, 0.2]).throughput_series_mbps(1.0)
+        assert len(series) == 1
+        assert series[0] == pytest.approx(2 * 8000.0 / 1e6)
+
+    def test_series_rejects_bad_bucket(self):
+        with pytest.raises(ValueError):
+            self._result(1.0, []).throughput_series_mbps(0.0)
+
+    def test_zero_duration_rates(self):
+        result = self._result(0.0, [])
+        assert result.throughput_mbps == 0.0
+        assert result.loss_rate == 0.0
+        assert result.attempts_per_packet == 0.0
+        assert result.packets_offered == 0
 
 
 class TestTcpIntegration:
