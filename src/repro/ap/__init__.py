@@ -2,6 +2,7 @@
 mobile-favouring scheduling, and hint-aware disassociation."""
 
 from .association import (
+    ASSOC_RANGE_M,
     ApInfo,
     AssociationComparison,
     AssociationEvent,
@@ -19,6 +20,7 @@ from .disassociation import (
 )
 
 __all__ = [
+    "ASSOC_RANGE_M",
     "ApInfo",
     "AssociationEvent",
     "LifetimeScorer",

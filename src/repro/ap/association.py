@@ -26,6 +26,7 @@ import numpy as np
 from ..core.hints import heading_difference_deg
 
 __all__ = [
+    "ASSOC_RANGE_M",
     "ApInfo",
     "AssociationEvent",
     "strongest_signal_policy",
@@ -36,7 +37,8 @@ __all__ = [
 ]
 
 #: Association is possible within this range (tuned to corridor scale).
-_ASSOC_RANGE_M = 55.0
+#: The network simulator (:mod:`repro.network`) shares this default.
+ASSOC_RANGE_M = 55.0
 
 
 @dataclass(frozen=True)
@@ -102,6 +104,11 @@ class LifetimeScorer:
         return (bearing_bin, distance_bin, moving)
 
     def train(self, event: AssociationEvent) -> None:
+        if not math.isfinite(event.lifetime_s) or event.lifetime_s < 0:
+            raise ValueError(
+                f"association lifetime must be finite and non-negative, "
+                f"got {event.lifetime_s}"
+            )
         key = self._bucket(event.relative_bearing_deg, event.distance_m, event.moving)
         self._sums[key] += event.lifetime_s
         self._counts[key] += 1
@@ -113,9 +120,12 @@ class LifetimeScorer:
         return self._global_count
 
     def score(self, relative_bearing_deg: float, distance_m: float, moving: bool) -> float:
+        # .get, not defaultdict indexing: scoring a never-trained bucket
+        # must neither divide by the default 0 count nor grow the table.
         key = self._bucket(relative_bearing_deg, distance_m, moving)
-        if self._counts[key] > 0:
-            return self._sums[key] / self._counts[key]
+        count = self._counts.get(key, 0)
+        if count > 0:
+            return self._sums[key] / count
         if self._global_count > 0:
             return self._global_sum / self._global_count
         return 0.0
@@ -125,6 +135,11 @@ class LifetimeScorer:
         """Pick the AP with the best predicted lifetime (RSSI tie-break)."""
         if not aps:
             raise ValueError("no candidate APs")
+        if self._global_count == 0:
+            # Cold start, first probe ever: no lifetimes to average, so
+            # "score all augmented probe requests the same" (paper) and
+            # let signal strength decide, exactly like the baseline.
+            return strongest_signal_policy(aps, x, y, heading_deg, moving)
 
         def key(ap: ApInfo):
             rel = heading_difference_deg(heading_deg, ap.bearing_from(x, y))
@@ -135,13 +150,14 @@ class LifetimeScorer:
 
 
 def _walk_lifetime(ap: ApInfo, x: float, y: float, heading_deg: float,
-                   speed_mps: float, walk_remaining_s: float) -> float:
+                   speed_mps: float, walk_remaining_s: float,
+                   assoc_range_m: float = ASSOC_RANGE_M) -> float:
     """Ground truth: how long until the walker exits the AP's range."""
     theta = math.radians(heading_deg)
     vx, vy = speed_mps * math.sin(theta), speed_mps * math.cos(theta)
     t = 0.0
     while t < walk_remaining_s:
-        if ap.distance_to(x + vx * t, y + vy * t) > _ASSOC_RANGE_M:
+        if ap.distance_to(x + vx * t, y + vy * t) > assoc_range_m:
             break
         t += 0.5
     return t
@@ -155,6 +171,7 @@ def simulate_walks(
     speed_mps: float = 1.4,
     seed: int = 0,
     scorer_to_train: LifetimeScorer | None = None,
+    assoc_range_m: float = ASSOC_RANGE_M,
 ) -> list[AssociationEvent]:
     """Walk clients down a corridor; record association lifetimes.
 
@@ -169,11 +186,12 @@ def simulate_walks(
         y = float(rng.uniform(-3.0, 3.0))
         heading = 90.0 if rng.random() < 0.5 else 270.0  # east/west corridor
         walk_s = float(rng.uniform(30.0, 120.0))
-        in_range = [ap for ap in aps if ap.distance_to(x, y) <= _ASSOC_RANGE_M]
+        in_range = [ap for ap in aps if ap.distance_to(x, y) <= assoc_range_m]
         if not in_range:
             continue
         chosen = policy(in_range, x, y, heading, True)
-        lifetime = _walk_lifetime(chosen, x, y, heading, speed_mps, walk_s)
+        lifetime = _walk_lifetime(chosen, x, y, heading, speed_mps, walk_s,
+                                  assoc_range_m)
         event = AssociationEvent(
             bssid=chosen.bssid,
             lifetime_s=lifetime,
@@ -223,7 +241,12 @@ def compare_association_policies(
                               corridor_length_m, seed=seed + 1)
     aware = simulate_walks(aps, scorer.policy, n_eval_walks,
                            corridor_length_m, seed=seed + 1)
+
+    def mean_lifetime(events: list[AssociationEvent]) -> float:
+        # No walk passed an AP: 0.0, not np.mean([])'s NaN.
+        return float(np.mean([e.lifetime_s for e in events])) if events else 0.0
+
     return AssociationComparison(
-        baseline_mean_s=float(np.mean([e.lifetime_s for e in baseline])),
-        hint_aware_mean_s=float(np.mean([e.lifetime_s for e in aware])),
+        baseline_mean_s=mean_lifetime(baseline),
+        hint_aware_mean_s=mean_lifetime(aware),
     )

@@ -13,6 +13,7 @@ from . import (
     fig3_8,
     fig4_x,
     fig5_1,
+    fig5_net,
     parallel,
     route_stability,
     table5_1,
@@ -29,6 +30,7 @@ __all__ = [
     "fig3_8",
     "fig4_x",
     "fig5_1",
+    "fig5_net",
     "table5_1",
     "route_stability",
     "extras",

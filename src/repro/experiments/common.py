@@ -21,14 +21,7 @@ import numpy as np
 from ..channel import ChannelTrace, Environment, environment_by_name, generate_trace, get_store
 from ..core.architecture import HintAwareNode, HintSeries
 from ..mac import SimConfig, TcpSource, UdpSource, run_link
-from ..rate import (
-    CHARM,
-    HintAwareRateController,
-    RBAR,
-    RRAA,
-    RapidSample,
-    SampleRate,
-)
+from ..rate import RATE_PROTOCOLS, SampleRate
 from ..sensors import (
     MotionScript,
     drive_by_script,
@@ -50,15 +43,8 @@ __all__ = [
 #: The evaluation's three indoor/outdoor environments (Figure 3-5).
 INDOOR_OUTDOOR_ENVS = ("office", "hallway", "outdoor")
 
-#: Constructors for every protocol in the Chapter 3 comparison.
-RATE_PROTOCOLS = {
-    "RapidSample": lambda seed: RapidSample(),
-    "SampleRate": lambda seed: SampleRate(),
-    "RRAA": lambda seed: RRAA(),
-    "RBAR": lambda seed: RBAR(training_seed=seed),
-    "CHARM": lambda seed: CHARM(training_seed=seed),
-    "HintAware": lambda seed: HintAwareRateController(),
-}
+# RATE_PROTOCOLS is re-exported from repro.rate, where the registry
+# lives; drivers keep importing it from here.
 
 #: SampleRate windows tried per trace for the paper's post-facto best (s).
 SAMPLERATE_WINDOWS_S = (2.0, 5.0, 10.0)

@@ -1,0 +1,166 @@
+"""Network scenarios: multi-station simulation grids (Sections 2.3, 5.2).
+
+Fans the :mod:`repro.network` scenario catalog over an
+(scenario x seed x association policy) grid through
+:class:`~repro.experiments.parallel.ExperimentPool`, reporting aggregate
+throughput, handoff counts and mean association lifetimes -- the
+network-scale counterpart of the per-figure drivers.  Station traces and
+hint series are warmed into the on-disk store by a first pool pass, so
+grid workers replay instead of regenerating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.scenario import ASSOCIATION_POLICIES
+from .common import print_table
+from .parallel import ExperimentPool
+
+__all__ = ["ScenarioTask", "run_scenario_task", "warm_scenario_task",
+           "run_grid", "run", "main"]
+
+#: Association policies compared by the default grid -- the scenario
+#: registry itself, so new policies join the comparison automatically.
+POLICIES = ASSOCIATION_POLICIES
+
+
+@dataclass(frozen=True)
+class ScenarioTask:
+    """One network replay of the scenario grid (picklable)."""
+
+    scenario: str
+    seed: int
+    policy: str = "strongest"
+    duration_s: float | None = None
+
+
+def _build(task: ScenarioTask):
+    from ..network import make_scenario
+
+    return make_scenario(task.scenario, seed=task.seed,
+                         duration_s=task.duration_s,
+                         association_policy=task.policy)
+
+
+def run_scenario_task(task: ScenarioTask) -> dict:
+    """Top-level (picklable) worker: replay one scenario, summarise."""
+    from ..network import run_scenario
+
+    result = run_scenario(_build(task))
+    return {
+        "aggregate_mbps": result.aggregate_throughput_mbps,
+        "stations_mbps": {name: res.throughput_mbps
+                          for name, res in result.stations.items()},
+        "handoffs": result.handoff_count,
+        "mean_lifetime_s": result.mean_association_lifetime_s(),
+        "attempts": sum(res.attempts for res in result.stations.values()),
+    }
+
+
+def warm_scenario_task(args: tuple) -> None:
+    """Top-level worker: generate one station's trace + hints.
+
+    ``(scenario, seed, duration_s, station_index)`` -- one store
+    artefact pair per worker call, so a cold store is filled by the
+    pool instead of by whichever grid worker gets there first.
+    """
+    from ..network import make_scenario, station_hints, station_trace
+
+    name, seed, duration_s, index = args
+    scenario = make_scenario(name, seed=seed, duration_s=duration_s)
+    station_trace(scenario, index)
+    station_hints(scenario, index)
+
+
+def run_grid(
+    scenarios: tuple[str, ...],
+    seeds: tuple[int, ...],
+    policies: tuple[str, ...] = POLICIES,
+    duration_s: float | None = None,
+    jobs: int | None = None,
+) -> dict[tuple[str, str], list[dict]]:
+    """Replay every (scenario, policy) over all seeds; pool fan-out.
+
+    Returns ``{(scenario, policy): [summary per seed]}`` in a fixed
+    order, identical for any job count.
+    """
+    from ..network import make_scenario
+
+    pool = ExperimentPool(jobs=jobs)
+    warm: list[tuple] = []
+    for name in scenarios:
+        for seed in seeds:
+            scenario = make_scenario(name, seed=seed, duration_s=duration_s)
+            warm += [(name, seed, duration_s, i)
+                     for i in range(scenario.n_stations)]
+    pool.map(warm_scenario_task, warm)
+
+    tasks = [
+        ScenarioTask(scenario=name, seed=seed, policy=policy,
+                     duration_s=duration_s)
+        for name in scenarios
+        for policy in policies
+        for seed in seeds
+    ]
+    summaries = pool.map(run_scenario_task, tasks)
+    grid: dict[tuple[str, str], list[dict]] = {}
+    for task, summary in zip(tasks, summaries):
+        grid.setdefault((task.scenario, task.policy), []).append(summary)
+    return grid
+
+
+def run(seed: int = 0, n_seeds: int = 2, duration_s: float | None = None,
+        jobs: int | None = None,
+        policies: tuple[str, ...] = POLICIES) -> dict:
+    """The default grid: full catalog x the association policies."""
+    from ..network import scenario_names
+
+    seeds = tuple(seed + i for i in range(n_seeds))
+    grid = run_grid(tuple(scenario_names()), seeds, policies=policies,
+                    duration_s=duration_s, jobs=jobs)
+    rows: dict[str, dict] = {}
+    for (name, policy), summaries in sorted(grid.items()):
+        n = len(summaries)
+        rows[f"{name}/{policy}"] = {
+            "agg_mbps": sum(s["aggregate_mbps"] for s in summaries) / n,
+            "handoffs": sum(s["handoffs"] for s in summaries) / n,
+            "lifetime_s": sum(s["mean_lifetime_s"] for s in summaries) / n,
+        }
+    return {"rows": rows, "grid": grid}
+
+
+def main(seed: int = 0, n_seeds: int = 2, jobs: int | None = None,
+         quick: bool = False) -> dict:
+    # Quick mode: one seed, short replays, and a single policy -- at
+    # 10 s no scenario hands off, so a policy comparison would just
+    # duplicate every (expensive) replay for identical rows.
+    duration_s = 10.0 if quick else None
+    result = run(seed, n_seeds=1 if quick else n_seeds,
+                 duration_s=duration_s, jobs=jobs,
+                 policies=("lifetime",) if quick else POLICIES)
+    print_table(
+        "Network scenarios: aggregate throughput / handoffs / lifetime",
+        result["rows"],
+    )
+    return result
+
+
+def _cli(argv: list[str] | None = None) -> dict:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seeds", type=int, default=2, metavar="N",
+                        help="seeds per (scenario, policy) cell")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: REPRO_JOBS or 1)")
+    parser.add_argument("--quick", action="store_true",
+                        help="short scenario durations, one seed")
+    args = parser.parse_args(argv)
+    return main(args.seed, n_seeds=args.seeds, jobs=args.jobs,
+                quick=args.quick)
+
+
+if __name__ == "__main__":
+    _cli()

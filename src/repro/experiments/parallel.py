@@ -27,11 +27,12 @@ or the ``REPRO_JOBS`` environment variable, or per-pool via
 
 from __future__ import annotations
 
-import hashlib
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..core.seeds import derive_seed
 
 __all__ = [
     "ExperimentPool",
@@ -63,24 +64,6 @@ def set_default_jobs(jobs: int) -> None:
     """Set the process-wide default worker count (clamped to >= 1)."""
     global _DEFAULT_JOBS
     _DEFAULT_JOBS = max(1, int(jobs))
-
-
-def derive_seed(base_seed: int, *key) -> int:
-    """A stable, collision-resistant seed for one task of a family.
-
-    Hashes ``(base_seed, *key)`` reprs with BLAKE2b, so seeds are
-    independent of submission order, worker count, and Python hash
-    randomisation -- the same task always simulates the same world.
-
-    >>> derive_seed(0, "office", "mixed", 3) == derive_seed(0, "office", "mixed", 3)
-    True
-    >>> derive_seed(0, "office", "mixed", 3) != derive_seed(1, "office", "mixed", 3)
-    True
-    """
-    blob = "|".join(repr(part) for part in (base_seed, *key)).encode()
-    return int.from_bytes(
-        hashlib.blake2b(blob, digest_size=8).digest(), "little"
-    ) >> 1  # keep it positive and well inside numpy's seed range
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,7 @@ from . import (
     fig3_8,
     fig4_x,
     fig5_1,
+    fig5_net,
     parallel,
     route_stability,
     table5_1,
@@ -62,6 +63,8 @@ def main(argv: list[str] | None = None) -> dict:
         ("route_stability", lambda: route_stability.main(
             args.seed, max(4, n_networks // 2), jobs=jobs)),
         ("fig5_1", lambda: fig5_1.main(args.seed)),
+        ("fig5_net", lambda: fig5_net.main(args.seed, jobs=jobs,
+                                           quick=args.quick)),
         ("extras", lambda: extras.main(args.seed)),
     ]
     for name, stage in stages:

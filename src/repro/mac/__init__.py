@@ -4,7 +4,14 @@ trace-driven link simulator (replaces the paper's modified ns-3)."""
 from . import timing
 from .frames import AckFrame, DataFrame, Frame, HintFrame, ProbeRequest
 from .metrics import MeanCI, mean_confidence_interval, normalise_to
-from .simulator import LinkSimulator, RateControllerLike, SimConfig, SimResult, run_link
+from .simulator import (
+    LinkProcess,
+    LinkSimulator,
+    RateControllerLike,
+    SimConfig,
+    SimResult,
+    run_link,
+)
 from .traffic import TcpSource, TrafficSource, UdpSource
 
 __all__ = [
@@ -18,6 +25,7 @@ __all__ = [
     "UdpSource",
     "TcpSource",
     "LinkSimulator",
+    "LinkProcess",
     "run_link",
     "SimConfig",
     "SimResult",

@@ -61,6 +61,7 @@ __all__ = [
     "SimConfig",
     "SimResult",
     "LinkSimulator",
+    "LinkProcess",
     "run_link",
 ]
 
@@ -186,6 +187,47 @@ class SimResult:
         return counts * self.payload_bytes * 8.0 / bucket_s / 1e6
 
 
+def _airtime_tables(
+    payload_bytes: int,
+) -> tuple[list, list, int | float, list[int]]:
+    """Per-rate airtime tables in whole microseconds (fast-path setup).
+
+    802.11a airtimes are integral; exact floats are kept if a custom
+    timing table ever makes them fractional.  Returns
+    ``(ok_us, fail_us, slot_time_us, cw_plus1)``.
+    """
+    def _exact(us: float) -> int | float:
+        return int(us) if float(us).is_integer() else us
+
+    ok_us = [_exact(timing.exchange_airtime_us(r, payload_bytes))
+             for r in range(N_RATES)]
+    fail_us = [_exact(timing.failed_exchange_us(r, payload_bytes))
+               for r in range(N_RATES)]
+    slot_time_us = _exact(timing.SLOT_TIME_US)
+    cw_plus1 = [timing.contention_window(r) + 1 for r in range(16)]
+    return ok_us, fail_us, slot_time_us, cw_plus1
+
+
+def _hint_edges(series: HintSeries) -> tuple[list[float], list[bool]]:
+    """Hint-transition edge list: (time, new truth value) pairs.
+
+    Collapses :meth:`HintSeries.edges` to its *boolean* transitions;
+    walking this list with a cursor reproduces
+    ``bool(HintSeries.value_at(t, default=False))`` for monotonically
+    non-decreasing ``t``.
+    """
+    edge_t: list[float] = []
+    edge_v: list[bool] = []
+    prev: bool | None = None
+    for t, v in series.edges():
+        b = bool(v)
+        if b != prev:
+            edge_t.append(t)
+            edge_v.append(b)
+            prev = b
+    return edge_t, edge_v
+
+
 def _rng_streams(
     seed: int,
 ) -> tuple[np.random.Generator, np.random.Generator, np.random.Generator,
@@ -234,24 +276,9 @@ class LinkSimulator:
         return 0.0
 
     def _hint_edges(self) -> tuple[list[float], list[bool]]:
-        """Hint-transition edge list: (time, new truth value) pairs.
-
-        Collapses :meth:`HintSeries.edges` to its *boolean* transitions;
-        walking this list with a cursor reproduces
-        ``bool(HintSeries.value_at(t, default=False))`` for monotonically
-        non-decreasing ``t``.
-        """
-        edge_t: list[float] = []
-        edge_v: list[bool] = []
-        prev: bool | None = None
+        """Boolean hint-transition edge list (see :func:`_hint_edges`)."""
         assert self._hints is not None
-        for t, v in self._hints.edges():
-            b = bool(v)
-            if b != prev:
-                edge_t.append(t)
-                edge_v.append(b)
-                prev = b
-        return edge_t, edge_v
+        return _hint_edges(self._hints)
 
     def run(self) -> SimResult:
         if self._config.engine == "reference":
@@ -380,17 +407,8 @@ class LinkSimulator:
         duration_us = trace.duration_s * 1e6
 
         # --- Per-rate airtime tables (whole microseconds) -------------
-        # 802.11a airtimes are integral; keep exact floats if a custom
-        # timing table ever makes them fractional.
-        def _exact(us: float) -> int | float:
-            return int(us) if float(us).is_integer() else us
-
-        ok_us = [_exact(timing.exchange_airtime_us(r, cfg.payload_bytes))
-                 for r in range(N_RATES)]
-        fail_us = [_exact(timing.failed_exchange_us(r, cfg.payload_bytes))
-                   for r in range(N_RATES)]
-        slot_time_us = _exact(timing.SLOT_TIME_US)
-        cw_plus1 = [timing.contention_window(r) + 1 for r in range(16)]
+        ok_us, fail_us, slot_time_us, cw_plus1 = _airtime_tables(
+            cfg.payload_bytes)
 
         # --- Hint edge list + cursor ----------------------------------
         have_hints = self._hints is not None
@@ -543,6 +561,315 @@ class LinkSimulator:
             rate_attempts=np.asarray(rate_attempts, dtype=np.int64),
             rate_successes=np.asarray(rate_successes, dtype=np.int64),
             delivery_times_s=delivery_buf[:n_deliv].copy(),
+        )
+
+
+class LinkProcess:
+    """Resumable single-link replay: the fast engine, one exchange at a time.
+
+    The network simulator (:mod:`repro.network`) interleaves many links
+    on a shared medium, so it needs the replay loop *inverted*: instead
+    of running a trace to completion, :meth:`step` performs exactly one
+    unit of work -- an idle advance to the traffic source's next release
+    or one frame-exchange attempt -- and returns control to the caller.
+
+    Semantics and RNG-stream consumption are identical to
+    :class:`LinkSimulator`'s engines: a process stepped to completion on
+    a free medium (no :meth:`defer_until` calls) produces a
+    bit-identical :class:`SimResult`, which is what makes a
+    1-station/1-AP network scenario a strict generalisation of the
+    single-link simulator (pinned by ``tests/test_network.py``).
+
+    This is deliberately a third copy of the replay semantics (after
+    the reference loop and ``_run_fast``): per-attempt stepping costs
+    ~30% over ``_run_fast``'s hoisted-locals loop, which would break
+    the benchmarked >= 3x single-link speedup if the fast engine were
+    implemented as ``LinkProcess.run_to_completion()``.  The
+    equivalence tests pin all three copies to each other, so a
+    semantics edit that misses one fails the suite rather than
+    diverging silently.
+
+    CSMA hooks
+    ----------
+    * :meth:`next_ready_us` -- the earliest time this station wants the
+      medium (``inf`` once the replay is over).  May peek at the traffic
+      source; sources must therefore be idempotent for repeated queries
+      at the same instant (both built-ins are).
+    * :meth:`defer_until` -- carrier sense: another station occupies the
+      medium, so this station's clock cannot start an exchange earlier.
+    """
+
+    def __init__(
+        self,
+        trace: ChannelTrace,
+        controller: RateControllerLike,
+        traffic: TrafficSource | None = None,
+        hint_series: HintSeries | None = None,
+        config: SimConfig | None = None,
+    ) -> None:
+        cfg = config if config is not None else SimConfig()
+        self._trace = trace
+        self._controller = controller
+        self._traffic = traffic if traffic is not None else UdpSource()
+        self._hints = hint_series
+        self._config = cfg
+
+        bias_rng, snr_rng, backoff_rng, floor_rng = _rng_streams(cfg.seed)
+        self._snr_rng = snr_rng
+        self._backoff_rng = backoff_rng
+        self._floor_rng = floor_rng
+        if cfg.snr_calibration_error_db > 0:
+            self._snr_bias_db = float(
+                bias_rng.standard_normal() * cfg.snr_calibration_error_db
+            )
+        else:
+            self._snr_bias_db = 0.0
+
+        # Per-slot arrays and per-rate timing tables (see _run_fast).
+        self._fate_rows = trace.fates.tolist()
+        self._snr_series = trace.snr_db.tolist()
+        self._slot_s = trace.slot_s
+        self._last_slot = trace.n_slots - 1
+        self._duration_us = trace.duration_s * 1e6
+
+        (self._ok_us, self._fail_us, self._slot_time_us,
+         self._cw_plus1) = _airtime_tables(cfg.payload_bytes)
+
+        self._have_hints = hint_series is not None
+        if hint_series is not None:
+            edge_t, edge_v = _hint_edges(hint_series)
+            self._hint_times, self._hint_vals = edge_t, edge_v
+        else:
+            self._hint_times, self._hint_vals = [], []
+        self._hint_n = len(self._hint_times)
+        self._hint_i = 0
+        self._hint_cur = False
+        self._last_hint: bool | None = None
+
+        self._backoff_buf: list[float] = []
+        self._floor_buf: list[float] = []
+        self._noise_buf: list[float] = []
+
+        self._delivery_buf = np.empty(4096, dtype=np.float64)
+        self._n_deliv = 0
+        self._rate_attempts = [0] * N_RATES
+        self._rate_successes = [0] * N_RATES
+        self._delivered = 0
+        self._dropped = 0
+        self._attempts = 0
+
+        self._t: int | float = 0
+        self._serving = False
+        self._retries = 0
+        self._done = False
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def now_us(self) -> float:
+        """The station's local clock (integer microseconds)."""
+        return self._t
+
+    def next_ready_us(self) -> float:
+        """Earliest time this station wants the medium (inf when over)."""
+        if self._done:
+            return _INF
+        if self._serving:
+            if self._t >= self._duration_us:
+                self._expire_in_flight()
+                return _INF
+            return float(self._t)
+        t = self._t
+        if t >= self._duration_us:
+            self._done = True
+            return _INF
+        send_at = self._traffic.next_send_time_us(t)
+        if send_at <= t:
+            return float(t)
+        if send_at >= self._duration_us or send_at == _INF:
+            self._done = True
+            return _INF
+        return float(send_at)
+
+    def defer_until(self, t_us: float) -> None:
+        """Carrier sense: the medium is busy until ``t_us``."""
+        if t_us > self._t:
+            # Round up: starting mid-microsecond would overlap the
+            # tail of the busy exchange if airtimes are fractional.
+            busy_until = int(t_us)
+            if busy_until < t_us:
+                busy_until += 1
+            self._t = busy_until
+
+    def resync_hints(self) -> None:
+        """Forget the last delivered hint, re-delivering the current one.
+
+        After a fresh association the controller was reset, so the
+        sender-side hint state must be re-learned: the next attempt
+        fires ``on_hint`` with the currently hinted value even if the
+        series has no new transition.
+        """
+        self._last_hint = None
+
+    def step(self) -> tuple[float, float, bool] | None:
+        """Advance by one unit of work.
+
+        Returns ``(start_us, end_us, success)`` when a frame-exchange
+        attempt occupied the medium, or ``None`` for an idle advance /
+        end-of-replay bookkeeping.
+        """
+        if self._done:
+            return None
+        t = self._t
+        if not self._serving:
+            if t >= self._duration_us:
+                self._done = True
+                return None
+            send_at = self._traffic.next_send_time_us(t)
+            if send_at > t:
+                if send_at >= self._duration_us or send_at == _INF:
+                    self._done = True
+                    return None
+                self._t = int(send_at)
+                return None
+            self._serving = True
+            self._retries = 0
+        elif t >= self._duration_us:
+            # A contender's exchange deferred this station past the end
+            # of its trace mid-service: the in-flight packet expires
+            # (the trace-end drop rule), it does not transmit into a
+            # world that no longer exists.  Unreachable on a free
+            # medium, so single-link equivalence is unaffected.
+            self._expire_in_flight()
+            return None
+        return self._attempt()
+
+    def _expire_in_flight(self) -> None:
+        """Drop the in-service packet at trace end (no traffic timeout)."""
+        self._dropped += 1
+        self._serving = False
+        self._done = True
+
+    # ------------------------------------------------------------------
+    def _attempt(self) -> tuple[float, float, bool]:
+        """One frame exchange: the body of the fast engine's inner loop."""
+        cfg = self._config
+        controller = self._controller
+        t = self._t
+        start = t
+        now_s = t / 1e6
+        now_ms = t / 1e3
+
+        # Guarded like the engines (series present, even if edgeless):
+        # an empty series still delivers the initial False once.
+        if self._have_hints:
+            q = now_s - cfg.hint_delay_s
+            while self._hint_i < self._hint_n and \
+                    self._hint_times[self._hint_i] <= q:
+                self._hint_cur = self._hint_vals[self._hint_i]
+                self._hint_i += 1
+            if self._hint_cur != self._last_hint:
+                controller.on_hint(MovementHint(time_s=now_s, moving=self._hint_cur))
+                self._last_hint = self._hint_cur
+
+        if cfg.snr_feedback:
+            prev_slot_t = now_s - self._slot_s
+            if prev_slot_t < 0.0:
+                prev_slot_t = 0.0
+            slot = int(prev_slot_t / self._slot_s)
+            if slot > self._last_slot:
+                slot = self._last_slot
+            observed = self._snr_series[slot] + self._snr_bias_db
+            if cfg.snr_obs_noise_db > 0:
+                try:
+                    z = self._noise_buf.pop()
+                except IndexError:
+                    self._noise_buf = self._snr_rng.standard_normal(
+                        _RNG_BLOCK)[::-1].tolist()
+                    z = self._noise_buf.pop()
+                observed += cfg.snr_obs_noise_db * z
+            controller.observe_snr(observed, now_ms)
+
+        rate = int(controller.choose_rate(now_ms))
+        if not 0 <= rate < N_RATES:
+            raise ValueError(f"controller chose invalid rate {rate}")
+        retries = self._retries
+        if 0 < cfg.retry_ladder_after < retries:
+            rate = rate - (retries - cfg.retry_ladder_after)
+            if rate < 0:
+                rate = 0
+
+        if cfg.use_backoff:
+            try:
+                u = self._backoff_buf.pop()
+            except IndexError:
+                self._backoff_buf = self._backoff_rng.random(
+                    _RNG_BLOCK)[::-1].tolist()
+                u = self._backoff_buf.pop()
+            cw1 = self._cw_plus1[retries if retries < 15 else 15]
+            t += int(u * cw1) * self._slot_time_us
+        slot = int((t / 1e6) / self._slot_s)
+        if slot > self._last_slot:
+            slot = self._last_slot
+        success = self._fate_rows[slot][rate]
+        if success and cfg.floor_loss_prob > 0:
+            try:
+                u = self._floor_buf.pop()
+            except IndexError:
+                self._floor_buf = self._floor_rng.random(
+                    _RNG_BLOCK)[::-1].tolist()
+                u = self._floor_buf.pop()
+            success = u >= cfg.floor_loss_prob
+        t += self._ok_us[rate] if success else self._fail_us[rate]
+        self._t = t
+
+        self._attempts += 1
+        self._rate_attempts[rate] += 1
+        controller.on_result(rate, success, t / 1e3)
+
+        if success:
+            self._rate_successes[rate] += 1
+            self._delivered += 1
+            if self._n_deliv == len(self._delivery_buf):
+                self._delivery_buf = np.concatenate(
+                    [self._delivery_buf, np.empty_like(self._delivery_buf)]
+                )
+            self._delivery_buf[self._n_deliv] = t / 1e6
+            self._n_deliv += 1
+            self._traffic.on_delivered(t)
+            self._serving = False
+        else:
+            retries += 1
+            self._retries = retries
+            if retries > cfg.retry_limit:
+                self._dropped += 1
+                self._traffic.on_dropped(t)
+                self._serving = False
+            elif t >= self._duration_us:
+                # In-flight packet at trace end counts as dropped.
+                self._expire_in_flight()
+        return (start, t, success)
+
+    def run_to_completion(self) -> SimResult:
+        """Drain the process on a free medium (== ``LinkSimulator.run``)."""
+        while not self._done:
+            self.step()
+        return self.result()
+
+    def result(self) -> SimResult:
+        """Snapshot of the replay outcome (complete once :attr:`done`)."""
+        return SimResult(
+            duration_s=self._trace.duration_s,
+            delivered=self._delivered,
+            dropped=self._dropped,
+            attempts=self._attempts,
+            payload_bytes=self._config.payload_bytes,
+            rate_attempts=np.asarray(self._rate_attempts, dtype=np.int64),
+            rate_successes=np.asarray(self._rate_successes, dtype=np.int64),
+            delivery_times_s=self._delivery_buf[: self._n_deliv].copy(),
         )
 
 

@@ -1,0 +1,48 @@
+"""Multi-station, multi-AP network simulation (Sections 2.3, 5.2).
+
+Composes the single-link pieces -- trace replay, rate adaptation, hint
+delivery, association policies -- into whole-network scenarios with
+CSMA airtime sharing and hint-aware handoff.  A 1-station/1-AP scenario
+is bit-identical to the plain :class:`~repro.mac.LinkSimulator`
+(see :func:`link_equivalent_result`), so everything the single-link
+experiments established carries over unchanged.
+"""
+
+from .scenario import (
+    ASSOCIATION_POLICIES,
+    ApSpec,
+    HINT_MODES,
+    MOBILITY_KINDS,
+    NetworkScenario,
+    StationSpec,
+)
+from .scenarios import SCENARIOS, make_scenario, scenario_names
+from .simulator import (
+    HandoffEvent,
+    NetworkResult,
+    NetworkSimulator,
+    link_equivalent_result,
+    run_scenario,
+)
+from .traces import station_hints, station_script, station_seed, station_trace
+
+__all__ = [
+    "ApSpec",
+    "StationSpec",
+    "NetworkScenario",
+    "MOBILITY_KINDS",
+    "HINT_MODES",
+    "ASSOCIATION_POLICIES",
+    "SCENARIOS",
+    "make_scenario",
+    "scenario_names",
+    "NetworkSimulator",
+    "NetworkResult",
+    "HandoffEvent",
+    "run_scenario",
+    "link_equivalent_result",
+    "station_trace",
+    "station_hints",
+    "station_script",
+    "station_seed",
+]

@@ -1,0 +1,176 @@
+"""Named scenario catalog: the network workloads the drivers fan out.
+
+Four families, each a deterministic function of (seed, duration):
+
+* ``corridor_walk`` -- Section 5.2.1's setting at network scale: APs
+  along a 200 m corridor, walkers crossing cells, learned-lifetime
+  association against the strongest-signal baseline.
+* ``vehicular_drive_by`` -- roadside APs, drive-by passes plus
+  Manhattan-model vehicles, hints over the air (``protocol`` mode).
+* ``dense_cell`` -- one office cell, many contending stations (mostly
+  static, a few pacing): the CSMA airtime-sharing stress case.
+* ``mixed_mobility`` -- static TCP stations sharing a hallway with
+  pacing and walking clients, hint-aware rate adaptation on the movers.
+
+``make_scenario(name, ...)`` is the single entry point; builders accept
+keyword overrides so experiments can shrink durations or swap policies
+without new catalog entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.seeds import derive_seed
+from ..sensors.trajectory import WALKING_SPEED
+from .scenario import ApSpec, NetworkScenario, StationSpec
+
+__all__ = ["SCENARIOS", "make_scenario", "scenario_names"]
+
+
+def _scenario(overrides: dict, **defaults) -> NetworkScenario:
+    """Catalog defaults overridden by caller keywords (overrides win)."""
+    return NetworkScenario(**{**defaults, **overrides})
+
+
+def corridor_walk(seed: int = 0, duration_s: float = 40.0,
+                  n_walkers: int = 3, **overrides) -> NetworkScenario:
+    """Walkers crossing a 200 m corridor of four AP cells."""
+    aps = tuple(
+        ApSpec(bssid=f"ap{i}", x_m=25.0 + 50.0 * i, y_m=8.0) for i in range(4)
+    )
+    stations = tuple(
+        StationSpec(
+            name=f"walker{i}",
+            mobility="walk",
+            speed_mps=WALKING_SPEED,
+            heading_deg=90.0,            # east, along the corridor
+            start_xy=(10.0 + 50.0 * i, 0.0),
+            traffic="udp",
+            protocol="HintAware" if i % 2 == 0 else "RapidSample",
+        )
+        for i in range(n_walkers)
+    )
+    return _scenario(
+        overrides,
+        name="corridor_walk", stations=stations, aps=aps,
+        environment="office", duration_s=duration_s, seed=seed,
+        association_policy="lifetime", hint_mode="series",
+        pretrain_walks=200,
+    )
+
+
+def vehicular_drive_by(seed: int = 0, duration_s: float = 30.0,
+                       **overrides) -> NetworkScenario:
+    """Roadside APs: drive-by passes plus roaming Manhattan vehicles."""
+    aps = (
+        ApSpec(bssid="roadside-a", x_m=0.0, y_m=15.0),
+        ApSpec(bssid="roadside-b", x_m=250.0, y_m=15.0),
+    )
+    stations = (
+        StationSpec(name="car0", mobility="drive_by", speed_mps=12.0,
+                    heading_deg=0.0, start_xy=(0.0, -20.0), traffic="udp"),
+        StationSpec(name="car1", mobility="drive_by", speed_mps=16.0,
+                    heading_deg=0.0, start_xy=(250.0, -30.0), traffic="udp"),
+        StationSpec(name="taxi0", mobility="vehicle", traffic="udp"),
+        StationSpec(name="taxi1", mobility="vehicle", traffic="udp"),
+    )
+    return _scenario(
+        overrides,
+        name="vehicular_drive_by", stations=stations, aps=aps,
+        environment="vehicular", duration_s=duration_s, seed=seed,
+        association_policy="strongest", hint_mode="protocol",
+    )
+
+
+def dense_cell(seed: int = 0, duration_s: float = 30.0,
+               n_stations: int = 20, **overrides) -> NetworkScenario:
+    """One office cell, ``n_stations`` contending clients (CSMA stress).
+
+    Mostly static stations scattered through the cell plus a pacing
+    minority -- the workload where airtime sharing and the mobile
+    stations' rate-adaptation choices dominate aggregate throughput.
+    """
+    if n_stations < 1:
+        raise ValueError("need at least one station")
+    rng = np.random.default_rng(derive_seed(seed, "dense-cell-xy"))
+    ap = ApSpec(bssid="cell0", x_m=0.0, y_m=10.0)
+    stations = []
+    for i in range(n_stations):
+        x = float(rng.uniform(-30.0, 30.0))
+        y = float(rng.uniform(-20.0, 20.0))
+        mobile = i % 5 == 4              # every fifth station paces
+        stations.append(StationSpec(
+            name=f"sta{i:02d}",
+            mobility="pace" if mobile else "static",
+            heading_deg=float(rng.uniform(0.0, 360.0)) if mobile else 0.0,
+            start_xy=(x, y),
+            traffic="udp",
+            protocol="HintAware" if mobile else "RapidSample",
+        ))
+    return _scenario(
+        overrides,
+        name="dense_cell", stations=tuple(stations), aps=(ap,),
+        environment="office", duration_s=duration_s, seed=seed,
+        association_policy="strongest", hint_mode="series",
+    )
+
+
+def mixed_mobility(seed: int = 0, duration_s: float = 20.0,
+                   **overrides) -> NetworkScenario:
+    """Static TCP stations sharing a hallway with mobile clients."""
+    aps = (
+        ApSpec(bssid="hall-a", x_m=0.0, y_m=10.0),
+        ApSpec(bssid="hall-b", x_m=90.0, y_m=10.0),
+    )
+    stations = (
+        StationSpec(name="desk0", mobility="static", start_xy=(-10.0, 0.0),
+                    traffic="tcp", protocol="SampleRate"),
+        StationSpec(name="desk1", mobility="static", start_xy=(95.0, 0.0),
+                    traffic="tcp", protocol="SampleRate"),
+        StationSpec(name="pacer0", mobility="pace", heading_deg=90.0,
+                    start_xy=(5.0, 0.0), traffic="udp", protocol="HintAware"),
+        StationSpec(name="pacer1", mobility="pace", heading_deg=270.0,
+                    start_xy=(85.0, 0.0), traffic="udp", protocol="HintAware"),
+        StationSpec(name="roamer", mobility="walk", heading_deg=90.0,
+                    speed_mps=2.0, start_xy=(20.0, 0.0), traffic="udp",
+                    protocol="HintAware"),
+    )
+    return _scenario(
+        overrides,
+        name="mixed_mobility", stations=stations, aps=aps,
+        environment="hallway", duration_s=duration_s, seed=seed,
+        association_policy="lifetime", hint_mode="series",
+    )
+
+
+#: Name -> builder.  Builders take (seed, duration_s, **overrides).
+SCENARIOS = {
+    "corridor_walk": corridor_walk,
+    "vehicular_drive_by": vehicular_drive_by,
+    "dense_cell": dense_cell,
+    "mixed_mobility": mixed_mobility,
+}
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+def make_scenario(name: str, seed: int = 0,
+                  duration_s: float | None = None, **kwargs) -> NetworkScenario:
+    """Build a catalog scenario by name.
+
+    ``duration_s=None`` keeps the scenario's own default; other keyword
+    arguments pass through to the builder (scenario fields like
+    ``association_policy`` or builder knobs like ``n_stations``).
+    """
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None
+    if duration_s is not None:
+        kwargs["duration_s"] = duration_s
+    return builder(seed=seed, **kwargs)

@@ -12,6 +12,19 @@ from .hintaware import HintAwareRateController
 from .fixed import FixedRate, RoundRobin
 from .oracle import OracleRate
 
+#: Constructors (name -> seed -> controller) for every protocol in the
+#: Chapter 3 comparison.  Lives here, with the protocols, so consumers
+#: (experiment drivers, the network simulator) need not import each
+#: other to share the registry.
+RATE_PROTOCOLS = {
+    "RapidSample": lambda seed: RapidSample(),
+    "SampleRate": lambda seed: SampleRate(),
+    "RRAA": lambda seed: RRAA(),
+    "RBAR": lambda seed: RBAR(training_seed=seed),
+    "CHARM": lambda seed: CHARM(training_seed=seed),
+    "HintAware": lambda seed: HintAwareRateController(),
+}
+
 __all__ = [
     "RateController",
     "RapidSample",
@@ -24,4 +37,5 @@ __all__ = [
     "FixedRate",
     "RoundRobin",
     "OracleRate",
+    "RATE_PROTOCOLS",
 ]

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
+from ..sensors.trajectory import Motion, MotionScript, MotionSegment
 from .roadnet import grid_road_network, node_position, segment_heading_deg
 
 __all__ = ["VehicleState", "VehicleTrace", "simulate_vehicles", "VehicleNetwork"]
@@ -48,6 +49,31 @@ class VehicleTrace:
 
     def headings(self) -> np.ndarray:
         return np.array([s.heading_deg for s in self.states])
+
+    def to_motion_script(self) -> MotionScript:
+        """The trace as a :class:`MotionScript` (one segment per second).
+
+        Bridges the vehicular substrate into everything that consumes
+        scripts -- the channel trace generator, the synthetic sensors
+        and the network simulator's station mobility -- so a network
+        scenario can put stations on Manhattan-model vehicle paths.
+        Speed and heading are piecewise-constant over each 1 s sample,
+        matching the trace's own resolution.
+        """
+        if not self.states:
+            raise ValueError("empty vehicle trace")
+        segments = [
+            MotionSegment(
+                Motion.DRIVE,
+                duration_s=1.0,
+                speed_mps=s.speed_mps,
+                heading_deg=s.heading_deg % 360.0,
+                outdoor=True,
+            )
+            for s in self.states
+        ]
+        first = self.states[0]
+        return MotionScript(segments, start_xy=(first.x_m, first.y_m))
 
     def __len__(self) -> int:
         return len(self.states)

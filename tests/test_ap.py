@@ -1,5 +1,7 @@
 """AP policies: association, scheduling, disassociation."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -48,6 +50,55 @@ class TestAssociation:
                                 seed=1)
         assert len(events) > 10
         assert all(e.lifetime_s >= 0 for e in events)
+
+
+class TestLifetimeScorerColdStart:
+    """The first probe against an empty table must be safe and sane."""
+
+    def test_empty_table_scores_finite_zero(self):
+        scorer = LifetimeScorer()
+        score = scorer.score(10.0, 30.0, True)
+        assert score == 0.0
+        assert math.isfinite(score)
+        assert scorer.n_trained == 0
+
+    def test_empty_table_policy_matches_strongest_signal(self):
+        scorer = LifetimeScorer()
+        aps = [ApInfo("near", 5.0, 0.0), ApInfo("far", 120.0, 0.0)]
+        chosen = scorer.policy(aps, 0.0, 0.0, 90.0, True)
+        baseline = strongest_signal_policy(aps, 0.0, 0.0, 90.0, True)
+        assert chosen is baseline
+
+    def test_scoring_unknown_buckets_does_not_grow_the_table(self):
+        from repro.ap.association import AssociationEvent
+        scorer = LifetimeScorer()
+        scorer.score(10.0, 30.0, True)        # cold probe
+        scorer.train(AssociationEvent("x", 40.0, 10.0, 30.0, True))
+        scorer.score(170.0, 90.0, False)      # unknown bucket probe
+        # Exactly one trained bucket: probes must not insert defaultdict
+        # zero-count entries that could later divide by zero.
+        assert len(scorer._counts) == 1
+        assert all(c > 0 for c in scorer._counts.values())
+
+    def test_single_event_fallback_is_its_mean(self):
+        from repro.ap.association import AssociationEvent
+        scorer = LifetimeScorer()
+        scorer.train(AssociationEvent("x", 40.0, 10.0, 30.0, True))
+        assert scorer.score(170.0, 90.0, False) == pytest.approx(40.0)
+
+    def test_train_rejects_non_finite_lifetimes(self):
+        from repro.ap.association import AssociationEvent
+        scorer = LifetimeScorer()
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(ValueError):
+                scorer.train(AssociationEvent("x", bad, 10.0, 30.0, True))
+        assert scorer.n_trained == 0
+
+    def test_untrained_comparison_produces_finite_means(self):
+        comparison = compare_association_policies(
+            n_training_walks=0, n_eval_walks=10, seed=2)
+        assert math.isfinite(comparison.baseline_mean_s)
+        assert math.isfinite(comparison.hint_aware_mean_s)
 
 
 class TestScheduling:

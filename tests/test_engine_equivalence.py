@@ -7,6 +7,8 @@ under both traffic models, and pins the parallel executor's determinism
 against serial execution.
 """
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -92,6 +94,18 @@ class TestPoolDeterminism:
         parallel = ExperimentPool(jobs=2).throughputs(tasks)
         assert serial == parallel
         assert serial == [run_throughput_task(t) for t in tasks]
+
+    def test_job_counts_collect_byte_identical_results(self):
+        """The PR-1 claim, pinned: the same task grid produces
+        byte-identical collected results for jobs=1, 2 and 4."""
+        tasks = self._tasks()
+        collected = {
+            jobs: ExperimentPool(jobs=jobs).throughputs(tasks)
+            for jobs in (1, 2, 4)
+        }
+        blobs = {jobs: pickle.dumps(results)
+                 for jobs, results in collected.items()}
+        assert blobs[1] == blobs[2] == blobs[4]
 
     def test_comparison_driver_matches_serial(self):
         kwargs = dict(environments=("office",), n_traces=2,

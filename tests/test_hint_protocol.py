@@ -102,6 +102,118 @@ class TestHintFrame:
         assert encode_hint_frame([])[0] == HINT_FRAME_MAGIC
 
 
+# ---------------------------------------------------------------------------
+# Property/fuzz coverage: random hints through every encoding, and
+# rejection of malformed wire data (truncation, bad magic, bad bytes).
+# ---------------------------------------------------------------------------
+
+movement_hints = st.booleans().map(lambda m: MovementHint(0.0, m))
+heading_hints = st.floats(0.0, 359.999).map(lambda h: HeadingHint(0.0, h))
+speed_hints = st.floats(0.0, 127.0).map(lambda s: SpeedHint(0.0, s))
+activity_hints = st.booleans().map(
+    lambda a: EnvironmentActivityHint(0.0, a, 0.0))
+position_hints = st.tuples(
+    st.floats(-32768.0, 32767.0), st.floats(-32768.0, 32767.0)
+).map(lambda xy: PositionHint(0.0, xy[0], xy[1]))
+
+field_hints = st.one_of(movement_hints, heading_hints, speed_hints,
+                        activity_hints)
+any_hints = st.one_of(field_hints, position_hints)
+
+
+def assert_wire_equivalent(original, decoded):
+    """The decoded hint matches the original up to wire quantisation."""
+    assert type(decoded) is type(original)
+    if isinstance(original, MovementHint):
+        assert decoded.moving == original.moving
+    elif isinstance(original, HeadingHint):
+        error = abs(decoded.heading_deg - original.heading_deg) % 360.0
+        assert min(error, 360.0 - error) <= 0.8
+    elif isinstance(original, SpeedHint):
+        assert abs(decoded.speed_mps - original.speed_mps) <= 0.25
+    elif isinstance(original, EnvironmentActivityHint):
+        assert decoded.active == original.active
+    elif isinstance(original, PositionHint):
+        assert abs(decoded.x_m - original.x_m) <= 0.5
+        assert abs(decoded.y_m - original.y_m) <= 0.5
+
+
+class TestFieldFuzz:
+    @given(field_hints)
+    def test_field_roundtrip_any_hint(self, hint):
+        decoded = decode_hint_field(encode_hint_field(hint))
+        assert_wire_equivalent(hint, decoded)
+
+    @given(field_hints)
+    def test_field_reencode_is_stable(self, hint):
+        """Once quantised, a hint survives further round-trips exactly."""
+        once = decode_hint_field(encode_hint_field(hint))
+        twice = decode_hint_field(encode_hint_field(once))
+        assert encode_hint_field(once) == encode_hint_field(twice)
+
+    @given(st.binary(min_size=0, max_size=6).filter(lambda b: len(b) != 2))
+    def test_field_rejects_wrong_length(self, data):
+        with pytest.raises(ValueError):
+            decode_hint_field(data)
+
+    @given(st.binary(min_size=2, max_size=2))
+    def test_field_decode_never_crashes(self, data):
+        """Arbitrary two-byte fields either decode or raise ValueError."""
+        try:
+            hint = decode_hint_field(data)
+        except ValueError:
+            return
+        assert hint.hint_type is not None
+
+
+class TestFrameFuzz:
+    @given(st.lists(any_hints, max_size=8))
+    def test_frame_roundtrip_random_hint_lists(self, hints):
+        decoded = decode_hint_frame(encode_hint_frame(hints))
+        assert len(decoded) == len(hints)
+        for original, got in zip(hints, decoded):
+            assert_wire_equivalent(original, got)
+
+    @given(st.lists(any_hints, min_size=1, max_size=4), st.data())
+    def test_any_truncation_rejected(self, hints, data):
+        frame = encode_hint_frame(hints)
+        cut = data.draw(st.integers(0, len(frame) - 1))
+        with pytest.raises(ValueError):
+            decode_hint_frame(frame[:cut])
+
+    @given(st.integers(0, 0xFF).filter(lambda b: b != HINT_FRAME_MAGIC),
+           st.lists(any_hints, max_size=3))
+    def test_any_bad_magic_rejected(self, first_byte, hints):
+        frame = bytearray(encode_hint_frame(hints))
+        frame[0] = first_byte
+        with pytest.raises(ValueError):
+            decode_hint_frame(bytes(frame))
+
+    @given(st.binary(min_size=0, max_size=32))
+    def test_random_bytes_never_crash(self, data):
+        """Garbage decodes to hints or raises ValueError -- never
+        anything else (no IndexError/KeyError/struct.error escapes)."""
+        try:
+            hints = decode_hint_frame(data)
+        except ValueError:
+            return
+        assert isinstance(hints, list)
+
+
+class TestMovementBitFuzz:
+    @given(st.one_of(st.integers(-(2**16), -1), st.integers(0x100, 2**16)))
+    def test_out_of_range_fc_bytes_rejected(self, fc):
+        with pytest.raises(ValueError):
+            encode_movement_bit(fc, True)
+        with pytest.raises(ValueError):
+            decode_movement_bit(fc)
+
+    @given(st.integers(0, 0xFF), st.booleans())
+    def test_stuffing_is_idempotent(self, fc, moving):
+        once = encode_movement_bit(fc, moving)
+        assert encode_movement_bit(once, moving) == once
+
+
 class TestHintChannel:
     def test_no_hint_before_publish(self):
         channel = HintChannel()

@@ -99,6 +99,28 @@ class TestMobility:
         with pytest.raises(ValueError):
             simulate_vehicles(duration_s=1)
 
+    def test_to_motion_script_mirrors_the_trace(self):
+        """The MotionScript bridge keeps duration, start and kinematics."""
+        net = simulate_vehicles(n_vehicles=2, duration_s=25, seed=4,
+                                heading_noise_deg=0.0)
+        trace = net.traces[0]
+        script = trace.to_motion_script()
+        assert script.duration_s == pytest.approx(len(trace))
+        first = trace.states[0]
+        state0 = script.state_at(0.0)
+        assert (state0.x_m, state0.y_m) == pytest.approx((first.x_m, first.y_m))
+        assert state0.moving
+        # Each 1 s segment reports the trace's speed and heading.
+        for t in (0, 7, 19):
+            state = script.state_at(t + 0.5)
+            assert state.speed_mps == pytest.approx(trace.states[t].speed_mps)
+            assert heading_difference_deg(
+                state.heading_deg, trace.states[t].heading_deg) < 1e-6
+
+    def test_to_motion_script_rejects_empty_trace(self):
+        with pytest.raises(ValueError):
+            VehicleTrace(vehicle_id=0).to_motion_script()
+
 
 def synthetic_network(positions_by_time, headings):
     """Build a VehicleNetwork from explicit per-second positions."""
