@@ -4,7 +4,22 @@ experiments are minutes-scale simulations, not microbenchmarks).
 
 When pytest-benchmark is not installed (e.g. a minimal CI image), the
 ``benchmark`` fixture below shadows the plugin's and skips every
-benchmark instead of erroring at collection."""
+benchmark instead of erroring at collection.
+
+Machine-readable artifacts
+--------------------------
+:func:`write_bench_artifact` dumps a benchmark's numbers as
+``BENCH_<name>.json`` (into ``$REPRO_BENCH_DIR`` or the working
+directory) so CI can upload them and the performance trajectory is
+reviewable per commit.  :func:`load_bench_baseline` reads the committed
+``benchmarks/BENCH_<name>_baseline.json`` pins; regression tests fail
+when a measured ratio drops more than the tolerance (default 20%) below
+its pinned baseline -- ratios, not wall seconds, so the pins hold across
+machines of different absolute speed."""
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -24,3 +39,33 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               iterations=1, rounds=1)
+
+
+def write_bench_artifact(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` next to the run (or $REPRO_BENCH_DIR)."""
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_baseline(name: str) -> dict:
+    """Committed baseline pins for one benchmark family ({} if absent)."""
+    path = Path(__file__).parent / f"BENCH_{name}_baseline.json"
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def check_regression(measured: float, baseline: dict, key: str,
+                     tolerance: float = 0.2) -> None:
+    """Fail when ``measured`` regressed >tolerance below its pinned value."""
+    pinned = baseline.get(key)
+    if pinned is None:
+        return
+    floor = pinned * (1.0 - tolerance)
+    assert measured >= floor, (
+        f"{key} regressed: measured {measured:.2f} < {floor:.2f} "
+        f"(pinned baseline {pinned:.2f} - {tolerance:.0%} tolerance)"
+    )

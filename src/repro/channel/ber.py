@@ -83,10 +83,34 @@ class LogisticPerModel:
         bit_success = (1.0 - per_ref) ** (1.0 / self._ref_bits)
         return 1.0 - bit_success ** (n_bytes * 8)
 
+    def per_matrix(self, snr_db: np.ndarray, n_bytes: int = 1000) -> np.ndarray:
+        """PER for *every* rate at once: ``(len(snr_db), N_RATES)``.
+
+        One broadcast over the per-rate thresholds instead of
+        :data:`~repro.channel.rates.N_RATES` separate :meth:`per_array`
+        passes -- the batch trace-generation hot path.  Elementwise the
+        arithmetic is identical to :meth:`per_array`, so the columns are
+        bit-equal to per-rate calls.
+        """
+        thresholds = np.array([r.snr_threshold_db for r in RATE_TABLE])
+        x = self._k * (np.asarray(snr_db, dtype=np.float64)[:, None]
+                       - thresholds[None, :] + self._shift)
+        np.clip(x, -40.0, 40.0, out=x)
+        per_ref = 1.0 / (1.0 + np.exp(x))
+        if n_bytes * 8 == self._ref_bits:
+            return per_ref
+        per_ref = np.minimum(per_ref, 1.0 - 1e-15)
+        bit_success = (1.0 - per_ref) ** (1.0 / self._ref_bits)
+        return 1.0 - bit_success ** (n_bytes * 8)
+
 
 def _q_function(x: float) -> float:
     """Gaussian tail probability Q(x)."""
     return 0.5 * math.erfc(x / math.sqrt(2.0))
+
+
+#: Elementwise ``math.erfc`` (numpy ships none without scipy).
+_ERFC_VEC = np.frompyfunc(math.erfc, 1, 1)
 
 
 # Effective coding gain (dB) per convolutional coding rate, a standard
@@ -130,6 +154,37 @@ class BerPerModel:
         n_bits = n_bytes * 8
         # log1p keeps precision when ber is tiny.
         return 1.0 - math.exp(n_bits * math.log1p(-ber))
+
+    def ber_array(self, snr_db: np.ndarray, rate_index: int) -> np.ndarray:
+        """Vectorised :meth:`ber` over an SNR array."""
+        rate = RATE_TABLE[rate_index]
+        gain = _CODING_GAIN_DB[rate.coding_rate]
+        snr_linear = 10.0 ** ((np.asarray(snr_db, dtype=np.float64) + gain)
+                              / 10.0)
+        mod = rate.modulation
+
+        def q_vec(x):
+            # Q(x) = erfc(x / sqrt 2) / 2.  numpy has no erfc; math.erfc
+            # through a frompyfunc stays dependency-free and bit-matches
+            # the scalar path (same C erfc per element).
+            return _ERFC_VEC(x / math.sqrt(2.0)).astype(np.float64) * 0.5
+
+        if mod in ("BPSK", "QPSK"):
+            bits = self._BITS_PER_SYMBOL[mod]
+            gamma_b = snr_linear / bits
+            return q_vec(np.sqrt(np.maximum(0.0, 2.0 * gamma_b)))
+        if mod == "16-QAM":
+            return 0.75 * q_vec(np.sqrt(np.maximum(0.0, snr_linear / 5.0)))
+        if mod == "64-QAM":
+            return (7.0 / 12.0) * q_vec(
+                np.sqrt(np.maximum(0.0, snr_linear / 21.0)))
+        raise ValueError(f"unknown modulation {mod}")  # pragma: no cover
+
+    def per_array(self, snr_db: np.ndarray, rate_index: int,
+                  n_bytes: int = 1000) -> np.ndarray:
+        """Vectorised :meth:`per` over an SNR array."""
+        ber = np.minimum(self.ber_array(snr_db, rate_index), 0.5)
+        return 1.0 - np.exp(n_bytes * 8 * np.log1p(-ber))
 
 
 #: Model shared by the trace generator and the SNR-based controllers

@@ -147,13 +147,25 @@ class TraceGenerator:
         slot_snr = fine_snr.mean(axis=1)
         rng = np.random.default_rng(self._seed + 0x5EED)
         fates = np.empty((n_slots, N_RATES), dtype=bool)
+        per_matrix = getattr(self._per_model, "per_matrix", None)
+        if per_matrix is not None:
+            # All rates in one broadcast (bit-equal to per-rate calls).
+            per_all = per_matrix(fine_snr.ravel(), self._payload)
+            per_all = per_all.reshape(n_slots, per_slot, N_RATES)
+        else:
+            per_all = None
         for r in range(N_RATES):
-            per_fine = self._per_model.per_array(
-                fine_snr.ravel(), r, self._payload
-            ).reshape(n_slots, per_slot)
+            if per_all is not None:
+                per_fine = per_all[:, :, r]
+            else:
+                per_fine = self._per_model.per_array(
+                    fine_snr.ravel(), r, self._payload
+                ).reshape(n_slots, per_slot)
             slot_per = per_fine.mean(axis=1)
             if self._floor_loss_prob > 0:
                 slot_per = 1.0 - (1.0 - slot_per) * (1.0 - self._floor_loss_prob)
+            # The per-rate draw order is part of the trace format: rate
+            # r's slot fates always consume the r-th block of draws.
             fates[:, r] = rng.random(n_slots) >= slot_per
 
         moving = np.array(

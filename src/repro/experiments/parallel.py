@@ -36,11 +36,13 @@ from ..core.seeds import derive_seed
 
 __all__ = [
     "ExperimentPool",
+    "BatchExperimentPool",
     "ThroughputTask",
     "derive_seed",
     "default_jobs",
     "set_default_jobs",
     "run_throughput_task",
+    "run_batch_tasks",
     "warm_cache_task",
 ]
 
@@ -118,6 +120,47 @@ def warm_cache_task(args: tuple) -> None:
         raise ValueError(f"unknown warm task kind {kind!r}")
 
 
+def run_batch_tasks(tasks: tuple) -> list[float]:
+    """Top-level (picklable) worker: one task group through the batch engine.
+
+    All tasks in the group share (protocol, traffic model); modes,
+    durations, environments and seeds may differ (the engine replays
+    ragged batches).  ``best_samplerate`` tasks expand into one link per
+    candidate window, batched alongside, and reduce back to the
+    per-task best -- exactly
+    :func:`repro.experiments.common.best_samplerate_throughput`.
+    """
+    from ..mac import SimConfig, TcpSource, UdpSource
+    from ..mac.batch import BatchLinkSpec, run_batch
+    from ..rate import RATE_PROTOCOLS, SampleRate
+    from .common import SAMPLERATE_WINDOWS_S, cached_hints, cached_trace
+
+    specs: list[BatchLinkSpec] = []
+    spans: list[tuple[int, int]] = []
+    for task in tasks:
+        trace = cached_trace(task.env, task.mode, task.seed, task.duration_s)
+        hints = cached_hints(task.mode, task.seed, task.duration_s)
+        if task.best_samplerate:
+            controllers = [SampleRate(window_s=w) for w in SAMPLERATE_WINDOWS_S]
+        else:
+            controllers = [RATE_PROTOCOLS[task.protocol](task.seed)]
+        start = len(specs)
+        for controller in controllers:
+            specs.append(BatchLinkSpec(
+                trace=trace,
+                controller=controller,
+                traffic=TcpSource() if task.tcp else UdpSource(),
+                hint_series=hints,
+                config=SimConfig(seed=task.seed),
+            ))
+        spans.append((start, len(specs)))
+    results = run_batch(specs)
+    return [
+        max(results[i].throughput_mbps for i in range(lo, hi))
+        for lo, hi in spans
+    ]
+
+
 class ExperimentPool:
     """Deterministic ordered map over experiment tasks.
 
@@ -147,3 +190,60 @@ class ExperimentPool:
     def throughputs(self, tasks: Iterable[ThroughputTask]) -> list[float]:
         """Map the standard link-replay worker over ``tasks``."""
         return self.map(run_throughput_task, tasks)
+
+
+class BatchExperimentPool(ExperimentPool):
+    """Grid executor that dispatches whole task groups to the batch engine.
+
+    Tasks are grouped by ``(protocol, tcp, best_samplerate)`` -- the
+    engine replays ragged batches natively, so mode, environment,
+    duration and seed vary freely within a group and batches stay as
+    wide as the grid allows -- and each group replays as one
+    :func:`repro.mac.batch.run_batch` lockstep call (split into chunks
+    of at most ``batch_size`` links; groups smaller than ``min_batch``
+    auto-fall back to the per-task fast engine, where batching has
+    nothing to amortise).  Results are
+    *bit-identical* to :class:`ExperimentPool` for any grouping, batch
+    size or job count -- the batch engine's per-link RNG streams are
+    keyed by task seed, never by batch position -- so drivers can swap
+    pools freely; the equivalence is pinned by the engine test suite.
+
+    With ``jobs > 1`` the chunks (not individual tasks) fan out over a
+    process pool, composing both parallelism axes.
+    """
+
+    def __init__(self, jobs: int | None = None, chunksize: int | None = None,
+                 batch_size: int = 64, min_batch: int = 2) -> None:
+        super().__init__(jobs, chunksize)
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.min_batch = max(1, int(min_batch))
+
+    def throughputs(self, tasks: Iterable[ThroughputTask]) -> list[float]:
+        task_list = list(tasks)
+        groups: dict[tuple, list[int]] = {}
+        for i, task in enumerate(task_list):
+            key = (task.protocol, task.tcp, task.best_samplerate)
+            groups.setdefault(key, []).append(i)
+        singles: list[int] = []
+        chunks: list[list[int]] = []
+        for members in groups.values():
+            if len(members) < self.min_batch:
+                singles.extend(members)
+                continue
+            for lo in range(0, len(members), self.batch_size):
+                chunks.append(members[lo:lo + self.batch_size])
+        results: list[float] = [0.0] * len(task_list)
+        chunk_results = self.map(
+            run_batch_tasks,
+            [tuple(task_list[i] for i in chunk) for chunk in chunks],
+        )
+        for chunk, values in zip(chunks, chunk_results):
+            for i, value in zip(chunk, values):
+                results[i] = value
+        for i, value in zip(singles,
+                            self.map(run_throughput_task,
+                                     [task_list[i] for i in singles])):
+            results[i] = value
+        return results

@@ -2,6 +2,7 @@
 trace-driven link simulator (replaces the paper's modified ns-3)."""
 
 from . import timing
+from .batch import BatchLinkEngine, BatchLinkSpec, run_batch
 from .frames import AckFrame, DataFrame, Frame, HintFrame, ProbeRequest
 from .metrics import MeanCI, mean_confidence_interval, normalise_to
 from .simulator import (
@@ -27,6 +28,9 @@ __all__ = [
     "LinkSimulator",
     "LinkProcess",
     "run_link",
+    "BatchLinkSpec",
+    "BatchLinkEngine",
+    "run_batch",
     "SimConfig",
     "SimResult",
     "RateControllerLike",

@@ -18,8 +18,8 @@ Controllers are duck-typed; :mod:`repro.rate.base` provides the ABC.
 
 Engines
 -------
-Two replay engines share identical semantics and RNG streams, selected by
-``SimConfig(engine=...)``:
+Three replay engines share identical semantics and RNG streams, selected
+by ``SimConfig(engine=...)``:
 
 * ``"fast"`` (default) -- the hot path.  Integer-microsecond clock,
   direct indexing into per-slot arrays materialised once per run (fates
@@ -29,6 +29,10 @@ Two replay engines share identical semantics and RNG streams, selected by
   tables, and a preallocated delivery-time buffer.
 * ``"reference"`` -- the readable per-attempt loop, retained as the
   executable specification for equivalence testing.
+* ``"batch"`` -- the :mod:`repro.mac.batch` array program that replays
+  many links in lockstep (here, a batch of one).  Its reason to exist is
+  grid executors (:class:`repro.experiments.parallel.BatchExperimentPool`);
+  per-link results are bit-identical to the other engines.
 
 Randomness is split into four independent streams spawned from
 ``SeedSequence(config.seed)`` -- calibration bias, SNR observation noise,
@@ -66,7 +70,7 @@ __all__ = [
 ]
 
 #: Replay engines accepted by :attr:`SimConfig.engine`.
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "reference", "batch")
 
 #: Block size for the fast engine's batched RNG refills.
 _RNG_BLOCK = 1024
@@ -283,6 +287,17 @@ class LinkSimulator:
     def run(self) -> SimResult:
         if self._config.engine == "reference":
             return self._run_reference()
+        if self._config.engine == "batch":
+            # A batch of one: same array program the grid executors use.
+            from .batch import BatchLinkSpec, run_batch
+
+            return run_batch([BatchLinkSpec(
+                trace=self._trace,
+                controller=self._controller,
+                traffic=self._traffic,
+                hint_series=self._hints,
+                config=self._config,
+            )])[0]
         return self._run_fast()
 
     # ------------------------------------------------------------------

@@ -2,7 +2,12 @@
 hint-aware switch (contributions) plus SampleRate, RRAA, RBAR, CHARM,
 fixed-rate and oracle baselines."""
 
-from .base import RateController
+from .base import (
+    BatchRateAdapter,
+    LoopBatchAdapter,
+    RateController,
+    make_batch_adapter,
+)
 from .rapidsample import RapidSample
 from .samplerate import SampleRate
 from .rraa import RRAA
@@ -27,6 +32,9 @@ RATE_PROTOCOLS = {
 
 __all__ = [
     "RateController",
+    "BatchRateAdapter",
+    "LoopBatchAdapter",
+    "make_batch_adapter",
     "RapidSample",
     "SampleRate",
     "RRAA",

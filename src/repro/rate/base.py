@@ -15,11 +15,20 @@ pseudocode (Figure 3-2).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
 
 from ..channel.rates import N_RATES
-from ..core.hints import Hint
+from ..core.hints import Hint, MovementHint
 
-__all__ = ["RateController"]
+__all__ = [
+    "RateController",
+    "BatchRateAdapter",
+    "LoopBatchAdapter",
+    "CruiseView",
+    "make_batch_adapter",
+]
 
 
 class RateController(ABC):
@@ -55,3 +64,185 @@ class RateController(ABC):
             raise ValueError(
                 f"rate index {rate_index} out of range 0..{self.n_rates - 1}"
             )
+
+    @classmethod
+    def step_batch(cls, controllers: Sequence["RateController"]) -> "BatchRateAdapter":
+        """Build a lockstep driver for a batch of controllers of this class.
+
+        The batch replay engine (:mod:`repro.mac.batch`) steps B links at
+        once; instead of calling each controller's per-attempt methods in
+        a Python loop, it asks the controller class for a
+        :class:`BatchRateAdapter` that applies the same updates to all B
+        links as array programs.  The base implementation returns the
+        always-correct :class:`LoopBatchAdapter`; protocols with NumPy
+        implementations (fixed-rate, RapidSample, the hint-aware switch)
+        override this.  Either way the adapter is *bit-identical* to
+        driving the controllers one by one.
+        """
+        return LoopBatchAdapter(controllers)
+
+
+class BatchRateAdapter:
+    """Lockstep driver for B rate controllers (one per batched link).
+
+    The batch engine calls the four per-attempt hooks with arrays instead
+    of scalars.  ``rows`` selects which links an array call refers to:
+    ``None`` means "all live links, in row order", otherwise an int index
+    array; the value arrays are aligned with the selected rows.  Row
+    indices are *dense*: when links finish, the engine first calls
+    :meth:`retire` (write state back into the wrapped controller objects)
+    and then :meth:`compact` with the surviving row indices.
+
+    ``uses_snr`` tells the engine whether :meth:`observe_snr_batch` can
+    have any effect; when ``False`` the engine skips the SNR observation
+    entirely (the draws it would feed are unobservable, so results are
+    unchanged).  ``cruise`` is ``None`` or a :class:`CruiseView` enabling
+    the engine's vectorized success-run fast path.
+    """
+
+    uses_snr: bool = True
+    cruise: "CruiseView | None" = None
+    #: Whether :meth:`choose_rate_batch`/:meth:`on_hint_batch` read their
+    #: time arguments; vectorized adapters that ignore them let the
+    #: engine skip computing attempt-start timestamps.
+    needs_choose_time: bool = True
+
+    def __init__(self, controllers: Sequence[RateController]) -> None:
+        self.controllers = list(controllers)
+
+    @property
+    def n_links(self) -> int:
+        return len(self.controllers)
+
+    def _rows(self, rows) -> range | np.ndarray:
+        return range(len(self.controllers)) if rows is None else rows
+
+    def on_hint_batch(self, rows, moving: np.ndarray, time_s: np.ndarray) -> None:
+        """Movement-hint transitions for the selected links."""
+
+    def observe_snr_batch(self, rows, snr_db: np.ndarray, now_ms: np.ndarray) -> None:
+        """Receiver-SNR feedback for the selected links."""
+
+    def choose_rate_batch(self, rows, now_ms: np.ndarray) -> np.ndarray:
+        """Rate indices for the attempts starting now (int64 array).
+
+        The returned array is owned by the caller (adapters must not
+        return live internal state: the engine mutates it for the retry
+        ladder and logs it after the controller update).
+        """
+        raise NotImplementedError
+
+    def on_result_batch(self, rows, rates: np.ndarray, successes: np.ndarray,
+                        now_ms: np.ndarray) -> None:
+        """ACK feedback for the selected links."""
+        raise NotImplementedError
+
+    def retire(self, rows: np.ndarray) -> None:
+        """Write adapter state back into the wrapped controllers."""
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop finished links; ``keep`` indexes the surviving rows."""
+        self.controllers = [self.controllers[int(k)] for k in keep]
+
+
+class LoopBatchAdapter(BatchRateAdapter):
+    """The universal fallback: drive each controller with a Python loop.
+
+    Correct for *any* controller (including user-defined ones and
+    protocols with internal RNGs -- each controller's own stream is
+    consumed exactly as in the single-link engines), at single-link
+    speed per attempt.
+    """
+
+    def __init__(self, controllers: Sequence[RateController]) -> None:
+        super().__init__(controllers)
+        base = RateController.observe_snr
+        self.uses_snr = any(
+            getattr(type(c), "observe_snr", base) is not base
+            for c in controllers
+        )
+
+    def on_hint_batch(self, rows, moving, time_s) -> None:
+        cs = self.controllers
+        for j, i in enumerate(self._rows(rows)):
+            cs[i].on_hint(
+                MovementHint(time_s=float(time_s[j]), moving=bool(moving[j]))
+            )
+
+    def observe_snr_batch(self, rows, snr_db, now_ms) -> None:
+        cs = self.controllers
+        for j, i in enumerate(self._rows(rows)):
+            cs[i].observe_snr(float(snr_db[j]), float(now_ms[j]))
+
+    def choose_rate_batch(self, rows, now_ms) -> np.ndarray:
+        cs = self.controllers
+        sel = self._rows(rows)
+        out = np.empty(len(sel), dtype=np.int64)
+        for j, i in enumerate(sel):
+            rate = int(cs[i].choose_rate(float(now_ms[j])))
+            if not 0 <= rate < N_RATES:
+                raise ValueError(f"controller chose invalid rate {rate}")
+            out[j] = rate
+        return out
+
+    def on_result_batch(self, rows, rates, successes, now_ms) -> None:
+        cs = self.controllers
+        for j, i in enumerate(self._rows(rows)):
+            cs[i].on_result(int(rates[j]), bool(successes[j]), float(now_ms[j]))
+
+
+class CruiseView:
+    """What the engine's success-run fast path needs from an adapter.
+
+    A *cruise* commits a prefix of consecutive successful attempts for a
+    link in one vectorized step.  That is only sound while each success
+    would leave the controller state untouched: the link must be
+    ``eligible`` (e.g. not mid-sample), and :meth:`success_noop` must
+    hold at the attempt's completion time (for RapidSample: either the
+    sample-up deadline has not passed, or re-picking provably returns
+    the current rate, so the update is a no-op).  All arrays are per
+    live row; the engine treats them as read-only snapshots.
+    """
+
+    def eligible(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def current(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def success_noop(self, now_ms: np.ndarray) -> np.ndarray:
+        """Whether a success completing at ``now_ms`` (B, k) is a no-op."""
+        raise NotImplementedError
+
+    def commit_result(self, rows: np.ndarray, rates: np.ndarray,
+                      successes: np.ndarray, now_ms: np.ndarray) -> None:
+        """Apply the controller's full per-attempt update vectorized.
+
+        Called for each tableau's *terminal* attempt (the one that broke
+        the no-op success run: a failure, a sample-up success, a sample
+        adoption or reversion).  Rows are cruise-eligible with zero
+        retries; ``rates`` is the rate attempted (always the current
+        rate, since retry ladders need retries > 0).
+        """
+        raise NotImplementedError
+
+
+def make_batch_adapter(controllers: Sequence[RateController]) -> BatchRateAdapter:
+    """Adapter for a batch: the class's vectorized one if homogeneous.
+
+    Heterogeneous batches (mixed controller classes) always get the loop
+    fallback; homogeneous ones get whatever ``cls.step_batch`` builds,
+    which may itself fall back for unsupported configurations.  The
+    class must define ``step_batch`` *itself*: a subclass that merely
+    inherits a parent's vectorized adapter may have overridden the
+    scalar hooks the adapter replicates, so it takes the always-correct
+    loop instead of silently replaying the parent's semantics.
+    """
+    if not controllers:
+        return LoopBatchAdapter([])
+    cls = type(controllers[0])
+    if all(type(c) is cls for c in controllers):
+        step = cls.__dict__.get("step_batch")
+        if step is not None:
+            return step.__get__(None, cls)(controllers)
+    return LoopBatchAdapter(controllers)

@@ -22,10 +22,14 @@ serves ``choose_rate``.  Two switch details matter and are exposed:
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from ..channel.rates import N_RATES
 from ..core.hints import Hint, MovementHint
-from .base import RateController
-from .rapidsample import RapidSample
+from .base import BatchRateAdapter, LoopBatchAdapter, RateController
+from .rapidsample import RapidSample, RapidSampleSoA, _RapidCruise
 from .samplerate import SampleRate
 
 __all__ = ["HintAwareRateController"]
@@ -95,3 +99,109 @@ class HintAwareRateController(RateController):
         self._static.reset()
         self._moving = False
         self.switch_count = 0
+
+    @classmethod
+    def step_batch(cls, controllers: Sequence[RateController]) -> BatchRateAdapter:
+        ctrls = list(controllers)
+        vectorizable = all(
+            type(c._mobile) is RapidSample
+            and c._mobile.n_rates == c.n_rates
+            for c in ctrls
+        ) and len({c.n_rates for c in ctrls}) <= 1
+        if not vectorizable:
+            # Custom mobile protocols keep full generality via the loop.
+            return LoopBatchAdapter(ctrls)
+        return _HintAwareBatchAdapter(ctrls)
+
+
+class _HintAwareBatchAdapter(BatchRateAdapter):
+    """Lockstep driver for B hint-aware controllers.
+
+    The mobile side (RapidSample) runs as a shared SoA -- mobile-mode
+    attempts, which dominate exactly when rate decisions are cheapest to
+    vectorize, are array programs and cruise-eligible.  The static side
+    keeps driving each link's own static controller object (SampleRate's
+    sliding window and sampling RNG stay per-instance, bit-identical to
+    the single-link engines).  Hint switches are rare and handled per
+    link, replicating :meth:`HintAwareRateController.on_hint` exactly.
+    """
+
+    def __init__(self, controllers: Sequence[HintAwareRateController]) -> None:
+        super().__init__(controllers)
+        self.soa = RapidSampleSoA([c._mobile for c in controllers])
+        self.statics = [c._static for c in controllers]
+        self.moving = np.array([c._moving for c in controllers], dtype=bool)
+        self._reset_on_switch = [bool(c._reset_on_switch) for c in controllers]
+        base = RateController.observe_snr
+        # observe_snr delegates to the active side; RapidSample ignores
+        # it, so only an overriding static controller makes SNR matter.
+        self.uses_snr = any(
+            getattr(type(s), "observe_snr", base) is not base
+            for s in self.statics
+        )
+        self.cruise = _RapidCruise(self.soa, moving=self.moving)
+
+    def on_hint_batch(self, rows, moving, time_s) -> None:
+        for j, i in enumerate(self._rows(rows)):
+            mv = bool(moving[j])
+            if mv == self.moving[i]:
+                continue
+            # Outgoing side's operating point seeds the incoming side.
+            if self.moving[i]:
+                seed_rate = int(self.soa.current[i])
+            else:
+                seed_rate = getattr(self.statics[i], "current_rate", None)
+            self.moving[i] = mv
+            self.controllers[i].switch_count += 1
+            if mv:
+                if self._reset_on_switch[i]:
+                    self.soa.reset_row(i)
+                if seed_rate is not None:
+                    self.soa.current[i] = int(seed_rate)
+            elif seed_rate is not None and hasattr(self.statics[i], "_current"):
+                self.statics[i]._current = int(seed_rate)
+
+    def observe_snr_batch(self, rows, snr_db, now_ms) -> None:
+        for j, i in enumerate(self._rows(rows)):
+            if not self.moving[i]:
+                self.statics[i].observe_snr(float(snr_db[j]), float(now_ms[j]))
+
+    def choose_rate_batch(self, rows, now_ms) -> np.ndarray:
+        if rows is None:
+            out = self.soa.current.copy()
+            static_rows = np.flatnonzero(~self.moving)
+            positions = static_rows
+        else:
+            out = self.soa.current[rows]
+            positions = np.flatnonzero(~self.moving[rows])
+            static_rows = rows[positions]
+        for j, i in zip(positions, static_rows):
+            rate = int(self.statics[i].choose_rate(float(now_ms[j])))
+            if not 0 <= rate < N_RATES:
+                raise ValueError(f"controller chose invalid rate {rate}")
+            out[j] = rate
+        return out
+
+    def on_result_batch(self, rows, rates, successes, now_ms) -> None:
+        sel = np.arange(len(rates)) if rows is None else rows
+        mv = self.moving[sel]
+        mi = np.flatnonzero(mv)
+        if mi.size:
+            self.soa.on_result(sel[mi], rates[mi], successes[mi], now_ms[mi])
+        for j in np.flatnonzero(~mv):
+            self.statics[int(sel[j])].on_result(
+                int(rates[j]), bool(successes[j]), float(now_ms[j])
+            )
+
+    def retire(self, rows) -> None:
+        self.soa.retire_rows(rows, [c._mobile for c in self.controllers])
+        for r in rows:
+            self.controllers[int(r)]._moving = bool(self.moving[r])
+
+    def compact(self, keep) -> None:
+        super().compact(keep)
+        self.soa.compact(keep)
+        self.statics = [self.statics[int(k)] for k in keep]
+        self.moving = self.moving[keep]
+        self.cruise._moving = self.moving
+        self._reset_on_switch = [self._reset_on_switch[int(k)] for k in keep]

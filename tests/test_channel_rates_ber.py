@@ -64,6 +64,34 @@ class TestLogisticPerModel:
         scalars = [model.per(s, 4, 1000) for s in snrs]
         assert np.allclose(vector, scalars)
 
+    @pytest.mark.parametrize("n_bytes", [1000, 1500])
+    def test_per_matrix_bit_equals_per_array(self, n_bytes):
+        """The all-rates broadcast is the batch trace-generation hot
+        path; its columns must be *bit-equal* to per-rate passes so
+        trace content is independent of which path generated it."""
+        model = DEFAULT_PER_MODEL
+        snrs = np.linspace(-10, 45, 200)
+        matrix = model.per_matrix(snrs, n_bytes)
+        assert matrix.shape == (len(snrs), N_RATES)
+        for r in range(N_RATES):
+            assert np.array_equal(matrix[:, r],
+                                  model.per_array(snrs, r, n_bytes))
+
+    def test_ber_model_arrays_match_scalars(self):
+        model = BerPerModel()
+        snrs = np.linspace(-5, 35, 40)
+        for r in range(N_RATES):
+            # scalar 10**x (libm pow) and np.power may differ in the
+            # last ulp; the physical cross-check model only needs tight
+            # agreement, not bit identity (unlike the logistic model
+            # that generates trace content).
+            assert np.allclose(
+                model.ber_array(snrs, r),
+                [model.ber(s, r) for s in snrs], rtol=1e-12, atol=1e-300)
+            assert np.allclose(
+                model.per_array(snrs, r, 1000),
+                [model.per(s, r, 1000) for s in snrs], rtol=1e-9, atol=1e-12)
+
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):
             LogisticPerModel(steepness_per_db=0.0)

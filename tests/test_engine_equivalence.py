@@ -1,16 +1,29 @@
-"""Golden equivalence: the fast engine is the reference engine, faster.
+"""Differential engine harness: every replay engine is the same machine.
 
-The fast path earns its keep only if it is *bit-identical* to the
-reference loop; this suite pins that across the full protocol matrix
-(all six Chapter 3 protocols) x (static/mobile/mixed/vehicular) modes,
-under both traffic models, and pins the parallel executor's determinism
-against serial execution.
+Three engines share the replay semantics -- ``reference`` (the
+executable specification), ``fast`` (the scalar hot path) and ``batch``
+(the lockstep array program) -- and earn their keep only by being
+*bit-identical*.  This suite pins that two ways:
+
+* a fixed golden matrix across the full protocol set (all six Chapter 3
+  protocols) x (static/mobile/mixed/vehicular) modes under both traffic
+  models; and
+* a hypothesis-driven differential fuzz over (protocol, mode, env,
+  seed, duration, traffic) configs, asserting
+  ``reference == fast == batch`` bit for bit on inputs nobody
+  hand-picked -- including whole heterogeneous batches replayed in one
+  lockstep call against their standalone twins.
+
+It also pins the parallel executors' determinism against serial
+execution (both the process pool and the batch pool).
 """
 
 import pickle
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.experiments import fig3_5
 from repro.experiments.common import (
@@ -19,12 +32,20 @@ from repro.experiments.common import (
     cached_trace,
 )
 from repro.experiments.parallel import (
+    BatchExperimentPool,
     ExperimentPool,
     ThroughputTask,
     derive_seed,
     run_throughput_task,
 )
-from repro.mac import SimConfig, TcpSource, UdpSource, run_link
+from repro.mac import (
+    BatchLinkSpec,
+    SimConfig,
+    TcpSource,
+    UdpSource,
+    run_batch,
+    run_link,
+)
 
 GOLDEN_SEED = 11
 DURATION_S = 6.0
@@ -67,6 +88,14 @@ class TestEngineEquivalence:
         fast = _replay(protocol, mode, env, "fast", tcp)
         assert_results_identical(ref, fast)
 
+    @pytest.mark.parametrize("protocol", sorted(RATE_PROTOCOLS))
+    @pytest.mark.parametrize("mode,env", MODE_ENVS)
+    def test_batch_matches_fast(self, protocol, mode, env):
+        tcp = mode != "vehicular"
+        fast = _replay(protocol, mode, env, "fast", tcp)
+        batch = _replay(protocol, mode, env, "batch", tcp)
+        assert_results_identical(fast, batch)
+
     def test_rerun_is_deterministic(self):
         """run() re-derives its RNG streams, so replays repeat exactly."""
         a = _replay("RapidSample", "mixed", "office", "fast", True)
@@ -76,6 +105,80 @@ class TestEngineEquivalence:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
             SimConfig(engine="warp")
+
+
+#: Compact differential-fuzz domain.  Durations and seeds are drawn
+#: from small pools so hypothesis explores protocol/mode/traffic
+#: interactions instead of regenerating a fresh trace per example
+#: (trace synthesis dwarfs replay time); the pools still cover ragged
+#: durations and disjoint RNG streams.
+_FUZZ_CONFIG = st.fixed_dictionaries({
+    "protocol": st.sampled_from(sorted(RATE_PROTOCOLS)),
+    "mode": st.sampled_from(["static", "mobile", "mixed", "vehicular"]),
+    "env": st.sampled_from(["office", "hallway", "outdoor"]),
+    "seed": st.sampled_from([1, 7, 19, 104729]),
+    "duration_s": st.sampled_from([1.5, 2.5, 3.5]),
+    "tcp": st.booleans(),
+})
+
+#: CI marks the fuzz jobs with an explicit seed (--hypothesis-seed) and
+#: these settings print the failing blob, so any failure reproduces
+#: straight from the log.
+_FUZZ_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    print_blob=True,
+    derandomize=False,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _env_for(mode, env):
+    return "vehicular" if mode == "vehicular" else env
+
+
+def _fuzz_replay(cfg, engine):
+    env = _env_for(cfg["mode"], cfg["env"])
+    trace = cached_trace(env, cfg["mode"], cfg["seed"], cfg["duration_s"])
+    hints = cached_hints(cfg["mode"], cfg["seed"], cfg["duration_s"])
+    controller = RATE_PROTOCOLS[cfg["protocol"]](cfg["seed"])
+    traffic = TcpSource() if cfg["tcp"] else UdpSource()
+    return run_link(trace, controller, traffic=traffic, hint_series=hints,
+                    config=SimConfig(seed=cfg["seed"], engine=engine))
+
+
+class TestDifferentialFuzz:
+    """reference == fast == batch on machine-chosen configurations."""
+
+    @settings(**_FUZZ_SETTINGS)
+    @given(cfg=_FUZZ_CONFIG)
+    def test_single_link_all_engines_agree(self, cfg):
+        ref = _fuzz_replay(cfg, "reference")
+        fast = _fuzz_replay(cfg, "fast")
+        batch = _fuzz_replay(cfg, "batch")
+        assert_results_identical(ref, fast)
+        assert_results_identical(fast, batch)
+
+    @settings(**_FUZZ_SETTINGS)
+    @given(cfgs=st.lists(_FUZZ_CONFIG, min_size=2, max_size=6))
+    def test_heterogeneous_batch_matches_standalone(self, cfgs):
+        """One lockstep call over a random batch == per-link fast runs;
+        in particular a link's result cannot depend on its batch
+        neighbours or position."""
+        specs = []
+        for cfg in cfgs:
+            env = _env_for(cfg["mode"], cfg["env"])
+            specs.append(BatchLinkSpec(
+                trace=cached_trace(env, cfg["mode"], cfg["seed"],
+                                   cfg["duration_s"]),
+                controller=RATE_PROTOCOLS[cfg["protocol"]](cfg["seed"]),
+                traffic=TcpSource() if cfg["tcp"] else UdpSource(),
+                hint_series=cached_hints(cfg["mode"], cfg["seed"],
+                                         cfg["duration_s"]),
+                config=SimConfig(seed=cfg["seed"]),
+            ))
+        for cfg, batched in zip(cfgs, run_batch(specs)):
+            assert_results_identical(batched, _fuzz_replay(cfg, "fast"))
 
 
 class TestPoolDeterminism:
@@ -94,6 +197,16 @@ class TestPoolDeterminism:
         parallel = ExperimentPool(jobs=2).throughputs(tasks)
         assert serial == parallel
         assert serial == [run_throughput_task(t) for t in tasks]
+
+    def test_batch_pool_matches_process_pool(self):
+        """The batch executor is a drop-in for the process pool: same
+        grid, same numbers, for any grouping or job count."""
+        tasks = self._tasks()
+        serial = ExperimentPool(jobs=1).throughputs(tasks)
+        assert serial == BatchExperimentPool(jobs=1).throughputs(tasks)
+        assert serial == BatchExperimentPool(jobs=2).throughputs(tasks)
+        assert serial == BatchExperimentPool(
+            jobs=1, batch_size=3).throughputs(tasks)
 
     def test_job_counts_collect_byte_identical_results(self):
         """The PR-1 claim, pinned: the same task grid produces

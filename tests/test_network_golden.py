@@ -1,0 +1,96 @@
+"""Golden-result snapshots for the network scenario catalog.
+
+The four catalog scenarios compose nearly every moving part of the
+simulator -- CSMA scheduling, per-station link processes, hint delivery
+in both modes, association policies -- on top of the *shared* mac/rate
+code the batch-engine refactors touch.  Pinning their summary metrics to
+a committed JSON file means a refactor that drifts any of that shared
+machinery fails loudly here instead of silently re-shaping PR 2's
+simulator results.
+
+Regenerating (after an *intentional* behaviour change):
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_network_golden.py
+
+then commit the refreshed ``tests/golden/network_scenarios.json``.
+Floats go through JSON's exact double round-trip, so comparisons are
+bit-strict.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.network import make_scenario, run_scenario
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "network_scenarios.json"
+
+#: Small-but-representative scenario configurations: every catalog
+#: entry, shrunk to seconds-scale runtimes.  Changing these invalidates
+#: the snapshot (the config is embedded in the file and checked).
+SCENARIO_CONFIGS = {
+    "corridor_walk": dict(seed=7, duration_s=6.0, n_walkers=2,
+                          pretrain_walks=12),
+    "vehicular_drive_by": dict(seed=7, duration_s=5.0),
+    "dense_cell": dict(seed=7, duration_s=4.0, n_stations=8),
+    "mixed_mobility": dict(seed=7, duration_s=5.0),
+}
+
+
+def _summarise(result) -> dict:
+    stations = {
+        name: {
+            "delivered": res.delivered,
+            "dropped": res.dropped,
+            "attempts": res.attempts,
+            "throughput_mbps": res.throughput_mbps,
+        }
+        for name, res in sorted(result.stations.items())
+    }
+    return {
+        "stations": stations,
+        "aggregate_throughput_mbps": result.aggregate_throughput_mbps,
+        "handoff_count": result.handoff_count,
+        "mean_association_lifetime_s": result.mean_association_lifetime_s(),
+        "hints_delivered": dict(sorted(result.hints_delivered.items())),
+        "completed_associations": len(result.association_events),
+        "censored_associations": len(result.censored_events),
+    }
+
+
+def _snapshot() -> dict:
+    out = {}
+    for name, config in SCENARIO_CONFIGS.items():
+        result = run_scenario(make_scenario(name, **config))
+        out[name] = {"config": config, "summary": _summarise(result)}
+    return out
+
+
+def test_scenario_catalog_matches_golden_snapshot():
+    snapshot = _snapshot()
+    if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(snapshot, indent=2, sort_keys=True)
+                               + "\n")
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"{GOLDEN_PATH} missing; run with REPRO_UPDATE_GOLDEN=1 to "
+            "create it, then commit the file"
+        )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert sorted(golden) == sorted(snapshot), (
+        "scenario catalog changed; regenerate the golden file"
+    )
+    for name in snapshot:
+        assert golden[name]["config"] == snapshot[name]["config"], (
+            f"{name}: snapshot config changed; regenerate the golden file"
+        )
+        assert golden[name]["summary"] == snapshot[name]["summary"], (
+            f"{name}: summary metrics drifted from the committed golden "
+            "snapshot -- either a regression in shared mac/rate/network "
+            "code, or an intentional change needing REPRO_UPDATE_GOLDEN=1"
+        )
