@@ -224,8 +224,11 @@ def test_batch_grid_speedup_and_equivalence():
     # ratio swings the most with co-tenant load (its rounds interleave
     # many small NumPy dispatches), so its guard gets a wider tolerance;
     # the cruise grid and the single-link ratio are steadier and keep
-    # the default 20%.
-    assert grid_speedup >= 1.2, (
+    # the default 20%.  The mixed-grid floor was raised from 1.2 once
+    # the adapter-layer dispatch work (vectorized SampleRate /
+    # hint-aware static side, trimmed loop fallback, adaptive cruise
+    # gating) settled the measured ratio at 2.1-2.5x.
+    assert grid_speedup >= 1.6, (
         f"batch engine no longer pays for itself on the mixed grid "
         f"({grid_speedup:.2f}x)"
     )

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..network.scenario import ASSOCIATION_POLICIES
+from ..network.scenario import ASSOCIATION_POLICIES, NETWORK_ENGINES
 from .common import print_table
-from .parallel import ExperimentPool
+from .parallel import BatchExperimentPool, ExperimentPool
 
 __all__ = ["ScenarioTask", "run_scenario_task", "warm_scenario_task",
            "run_grid", "run", "main"]
@@ -33,6 +33,9 @@ class ScenarioTask:
     seed: int
     policy: str = "strongest"
     duration_s: float | None = None
+    #: Scenario replay engine (bit-identical results; ``batch`` is the
+    #: fast path for dense cells, see :mod:`repro.network.batch`).
+    engine: str = "reference"
 
 
 def _build(task: ScenarioTask):
@@ -40,7 +43,8 @@ def _build(task: ScenarioTask):
 
     return make_scenario(task.scenario, seed=task.seed,
                          duration_s=task.duration_s,
-                         association_policy=task.policy)
+                         association_policy=task.policy,
+                         engine=task.engine)
 
 
 def run_scenario_task(task: ScenarioTask) -> dict:
@@ -79,15 +83,24 @@ def run_grid(
     policies: tuple[str, ...] = POLICIES,
     duration_s: float | None = None,
     jobs: int | None = None,
+    engine: str = "reference",
 ) -> dict[tuple[str, str], list[dict]]:
     """Replay every (scenario, policy) over all seeds; pool fan-out.
 
     Returns ``{(scenario, policy): [summary per seed]}`` in a fixed
-    order, identical for any job count.
+    order, identical for any job count *and any engine* -- the batch
+    scenario engine is pinned bit-identical to the reference one, so
+    ``engine="batch"`` (via :class:`BatchExperimentPool`) only changes
+    how fast the grid fills in.
     """
     from ..network import make_scenario
 
-    pool = ExperimentPool(jobs=jobs)
+    if engine not in NETWORK_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {NETWORK_ENGINES}"
+        )
+    pool = (BatchExperimentPool(jobs=jobs) if engine == "batch"
+            else ExperimentPool(jobs=jobs))
     warm: list[tuple] = []
     for name in scenarios:
         for seed in seeds:
@@ -98,12 +111,12 @@ def run_grid(
 
     tasks = [
         ScenarioTask(scenario=name, seed=seed, policy=policy,
-                     duration_s=duration_s)
+                     duration_s=duration_s, engine=engine)
         for name in scenarios
         for policy in policies
         for seed in seeds
     ]
-    summaries = pool.map(run_scenario_task, tasks)
+    summaries = pool.scenario_summaries(tasks)
     grid: dict[tuple[str, str], list[dict]] = {}
     for task, summary in zip(tasks, summaries):
         grid.setdefault((task.scenario, task.policy), []).append(summary)
@@ -112,13 +125,14 @@ def run_grid(
 
 def run(seed: int = 0, n_seeds: int = 2, duration_s: float | None = None,
         jobs: int | None = None,
-        policies: tuple[str, ...] = POLICIES) -> dict:
+        policies: tuple[str, ...] = POLICIES,
+        engine: str = "reference") -> dict:
     """The default grid: full catalog x the association policies."""
     from ..network import scenario_names
 
     seeds = tuple(seed + i for i in range(n_seeds))
     grid = run_grid(tuple(scenario_names()), seeds, policies=policies,
-                    duration_s=duration_s, jobs=jobs)
+                    duration_s=duration_s, jobs=jobs, engine=engine)
     rows: dict[str, dict] = {}
     for (name, policy), summaries in sorted(grid.items()):
         n = len(summaries)
@@ -131,14 +145,15 @@ def run(seed: int = 0, n_seeds: int = 2, duration_s: float | None = None,
 
 
 def main(seed: int = 0, n_seeds: int = 2, jobs: int | None = None,
-         quick: bool = False) -> dict:
+         quick: bool = False, engine: str = "reference") -> dict:
     # Quick mode: one seed, short replays, and a single policy -- at
     # 10 s no scenario hands off, so a policy comparison would just
     # duplicate every (expensive) replay for identical rows.
     duration_s = 10.0 if quick else None
     result = run(seed, n_seeds=1 if quick else n_seeds,
                  duration_s=duration_s, jobs=jobs,
-                 policies=("lifetime",) if quick else POLICIES)
+                 policies=("lifetime",) if quick else POLICIES,
+                 engine=engine)
     print_table(
         "Network scenarios: aggregate throughput / handoffs / lifetime",
         result["rows"],
@@ -157,9 +172,13 @@ def _cli(argv: list[str] | None = None) -> dict:
                         help="worker processes (default: REPRO_JOBS or 1)")
     parser.add_argument("--quick", action="store_true",
                         help="short scenario durations, one seed")
+    parser.add_argument("--engine", choices=list(NETWORK_ENGINES),
+                        default="reference",
+                        help="scenario replay engine (bit-identical "
+                             "results; batch is the dense-cell fast path)")
     args = parser.parse_args(argv)
     return main(args.seed, n_seeds=args.seeds, jobs=args.jobs,
-                quick=args.quick)
+                quick=args.quick, engine=args.engine)
 
 
 if __name__ == "__main__":

@@ -191,6 +191,17 @@ class ExperimentPool:
         """Map the standard link-replay worker over ``tasks``."""
         return self.map(run_throughput_task, tasks)
 
+    def scenario_summaries(self, tasks: Iterable) -> list[dict]:
+        """Map the network-scenario worker over ``ScenarioTask``s.
+
+        Each task is one whole multi-station replay
+        (:func:`repro.experiments.fig5_net.run_scenario_task`); the
+        tasks' own ``engine`` fields pick the replay engine.
+        """
+        from .fig5_net import run_scenario_task
+
+        return self.map(run_scenario_task, tasks)
+
 
 class BatchExperimentPool(ExperimentPool):
     """Grid executor that dispatches whole task groups to the batch engine.
@@ -247,3 +258,9 @@ class BatchExperimentPool(ExperimentPool):
                                      [task_list[i] for i in singles])):
             results[i] = value
         return results
+
+    # Network-scenario grids need no regrouping here: each scenario
+    # replay is internally batched (all of its stations advance through
+    # one SoA engine), so the inherited ``scenario_summaries`` applies
+    # -- build the tasks with ``engine="batch"`` (as
+    # ``fig5_net.run_grid(engine="batch")`` does) and fan them out.

@@ -86,6 +86,10 @@ _W = 4 * _RNG_BLOCK
 #: shallow ones because every pass pays full NumPy dispatch overhead.
 _CRUISE_K = 24
 
+#: Smallest adaptive tableau depth: still deep enough to commit a
+#: typical short success run in one pass.
+_CRUISE_K_MIN = 6
+
 #: Cruise passes per engine step.  Terminal commits resolve sample-up
 #: events in-pass, so extra passes chain run after run -- but only pay
 #: while the whole batch is committing in bulk (fixed-rate and other
@@ -97,6 +101,13 @@ _CRUISE_ITERS = 2
 #: links stuck in low-success regimes (where cruise cannot help) retire
 #: several attempts per round, amortising the loop's fixed dispatch cost.
 _EVENT_REPS = 2
+
+#: Engine steps a cruise sits out after an unproductive pass (one that
+#: committed fewer attempts than there are live links).  Skipping never
+#: changes results -- cruise pre-commits exactly the attempts the
+#: general step would retire -- it only stops paying tableau overhead
+#: in loss-heavy regimes where success runs stay short.
+_CRUISE_BACKOFF = 4
 
 #: Worst-case RNG draws per row per engine step (cruise + general).
 _STEP_DRAWS = _CRUISE_ITERS * _CRUISE_K + _EVENT_REPS
@@ -169,9 +180,10 @@ class BatchLinkEngine:
 
     All specs must share the config *flags* (backoff on/off, SNR
     feedback, noise/calibration/floor-loss zero vs nonzero, ladder
-    enabled) and controller class; scalar knob values, traces, seeds and
-    durations may differ per link.  :func:`run_batch` partitions
-    arbitrary spec lists into such groups.
+    enabled); scalar knob values, traces, seeds, durations and
+    controller classes may differ per link (mixed classes ride a
+    :class:`~repro.rate.base.CompositeBatchAdapter`, without cruise).
+    :func:`run_batch` partitions arbitrary spec lists into such groups.
     """
 
     def __init__(self, specs: Sequence[BatchLinkSpec]) -> None:
@@ -327,6 +339,13 @@ class BatchLinkEngine:
             and int(self._retry_limit.min()) >= 1
         )
         self._k_range = np.arange(_CRUISE_K, dtype=np.int64)
+        #: Adaptive tableau depth: every (B, k)-shaped pass cost scales
+        #: with k, so loss-heavy regimes (short success runs) shrink it
+        #: and long-run regimes saturate it back up to :data:`_CRUISE_K`.
+        #: Depth only bounds how many attempts one pass may commit --
+        #: the remainder goes through later passes or the general step
+        #: identically -- so adaptation tunes speed, never results.
+        self._cruise_k = _CRUISE_K
 
     # ------------------------------------------------------------------
     def _refresh_row_index(self) -> None:
@@ -459,12 +478,13 @@ class BatchLinkEngine:
             elig &= self._next_hint > t
         if not elig.any():
             return 0
-        k = _CRUISE_K
+        k = self._cruise_k
+        k_range = self._k_range[:k]
         cur = cruise.current()
         ok_cur = self._at_flat[self._row2r + N_RATES + cur]
         if self._use_backoff:
             b0 = self._rowW + self._bk_pos
-            u = self._bk_flat[b0[:, None] + self._k_range]
+            u = self._bk_flat[b0[:, None] + k_range]
             step = (u * self._cw1f[0]).astype(np.int64) * self._slot_time
             step += ok_cur[:, None]
         else:
@@ -478,7 +498,7 @@ class BatchLinkEngine:
         ]
         if self._floor_on:
             f0 = self._rowW + self._fl_pos
-            uf = self._fl_flat[f0[:, None] + self._k_range]
+            uf = self._fl_flat[f0[:, None] + k_range]
             deliver = fate & (uf >= self._floor_p[:, None])
         else:
             deliver = fate
@@ -491,6 +511,14 @@ class BatchLinkEngine:
         pre = np.logical_and.accumulate(valid, axis=1)
         ncommit = pre.sum(axis=1)
         total = int(ncommit.sum())
+        # Adapt the tableau depth to the observed run lengths: saturate
+        # back to full depth the moment any link fills the tableau,
+        # shrink while the deepest commit uses less than a third of it.
+        deepest = int(ncommit.max()) if len(ncommit) else 0
+        if deepest >= k:
+            self._cruise_k = _CRUISE_K
+        elif deepest * 3 < k and k > _CRUISE_K_MIN:
+            self._cruise_k = max(_CRUISE_K_MIN, k // 2)
         if total:
             ids_c = np.repeat(self._live_ids, ncommit)
             rates_c = np.repeat(cur, ncommit)
@@ -560,8 +588,18 @@ class BatchLinkEngine:
     # ------------------------------------------------------------------
     # The general step: one frame-exchange attempt per selected row
     # ------------------------------------------------------------------
-    def _attempt_step(self, att: np.ndarray | None) -> np.ndarray:
-        """One attempt for rows ``att`` (None = all); returns dead mask."""
+    def _attempt_step(
+        self, att: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One attempt for rows ``att`` (None = all).
+
+        Returns ``(dead, rates, successes, start_us, end_us)`` -- the
+        dead-row mask plus the attempts' outcomes aligned with the
+        selected rows.  The grid run loop only consumes ``dead``; the
+        network scenario engine (:mod:`repro.network.batch`) drives this
+        method row-at-a-time between contention barriers and needs the
+        exchange spans for CSMA bookkeeping.
+        """
         dense = att is None
         t0 = self._t if dense else self._t[att]
         # Vectorized adapters that ignore attempt-start times let the
@@ -696,10 +734,10 @@ class BatchLinkEngine:
                     self._dropped_by_id[self._live_ids[cont[ex]]] += 1
 
         if dense:
-            return t2 >= self._dur
+            return t2 >= self._dur, rate, succ, t0, t2
         dead = np.zeros(len(self._live_ids), dtype=bool)
         dead[att] = t2 >= self._dur[att]
-        return dead
+        return dead, rate, succ, t0, t2
 
     # ------------------------------------------------------------------
     def run(self) -> list[SimResult]:
@@ -710,6 +748,7 @@ class BatchLinkEngine:
         dead0 = self._dur <= self._t
         if dead0.any():
             self._compact(np.flatnonzero(~dead0))
+        cruise_cd = 0
         while len(self._live_ids):
             att: np.ndarray | None = None
             if not self._all_udp:
@@ -729,7 +768,7 @@ class BatchLinkEngine:
             if self._refill_cd <= 0:
                 self._refill()
             self._refill_cd -= 1
-            if self._cruise is not None:
+            if self._cruise is not None and cruise_cd <= 0:
                 # Deep passes chain while productive: each pass retires
                 # a whole success run plus its terminal event per hot
                 # link, so long-run regimes (fixed rate, clean static
@@ -739,14 +778,27 @@ class BatchLinkEngine:
                 # only while the previous one committed in bulk
                 # (several attempts per live link).
                 floor = max(4, 6 * len(self._live_ids))
+                committed = 0
                 for _ in range(_CRUISE_ITERS):
-                    if self._cruise_step() < floor:
+                    got = self._cruise_step()
+                    committed += got
+                    if got < floor:
                         break
+                if committed * 4 < len(self._live_ids):
+                    # Loss-heavy regime: the tableau is pure overhead
+                    # while success runs stay short, so cruise sits out
+                    # a few rounds.  Skipping is semantics-neutral --
+                    # cruise only pre-commits attempts the general step
+                    # would produce identically -- so this gate tunes
+                    # speed, never results.
+                    cruise_cd = _CRUISE_BACKOFF
+            else:
+                cruise_cd -= 1
             reps = _EVENT_REPS if (self._all_udp and att is None) else 1
             for _ in range(reps):
                 if att is not None and not att.size:
                     break
-                dead = self._attempt_step(att)
+                dead = self._attempt_step(att)[0]
                 if dead.any():
                     self._adapter.retire(np.flatnonzero(dead))
                     self._compact(np.flatnonzero(~dead))

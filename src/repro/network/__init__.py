@@ -8,11 +8,13 @@ is bit-identical to the plain :class:`~repro.mac.LinkSimulator`
 experiments established carries over unchanged.
 """
 
+from .batch import NetworkBatchEngine
 from .scenario import (
     ASSOCIATION_POLICIES,
     ApSpec,
     HINT_MODES,
     MOBILITY_KINDS,
+    NETWORK_ENGINES,
     NetworkScenario,
     StationSpec,
 )
@@ -33,6 +35,8 @@ __all__ = [
     "MOBILITY_KINDS",
     "HINT_MODES",
     "ASSOCIATION_POLICIES",
+    "NETWORK_ENGINES",
+    "NetworkBatchEngine",
     "SCENARIOS",
     "make_scenario",
     "scenario_names",

@@ -31,6 +31,7 @@ __all__ = [
     "HINT_MODES",
     "ASSOCIATION_POLICIES",
     "TRAFFIC_KINDS",
+    "NETWORK_ENGINES",
 ]
 
 #: Station mobility recipes understood by :mod:`repro.network.traces`.
@@ -49,6 +50,14 @@ HINT_MODES = ("series", "protocol", "off")
 ASSOCIATION_POLICIES = ("strongest", "lifetime")
 
 TRAFFIC_KINDS = ("udp", "tcp")
+
+#: Scenario replay engines: ``reference`` -- per-station
+#: :class:`~repro.mac.LinkProcess` steppers under the exact scheduler
+#: (the oracle); ``batch`` -- the SoA engine
+#: (:class:`~repro.network.batch.NetworkBatchEngine`) that advances
+#: stations in vectorized passes between contention barriers.  Results
+#: are bit-identical; ``batch`` is the fast path for dense cells.
+NETWORK_ENGINES = ("reference", "batch")
 
 
 @dataclass(frozen=True)
@@ -126,8 +135,16 @@ class NetworkScenario:
     #: time has passed).  0 starts cold, where the lifetime policy
     #: behaves like the baseline until it has observed lifetimes.
     pretrain_walks: int = 0
+    #: Scenario replay engine (see :data:`NETWORK_ENGINES`): results are
+    #: bit-identical, only the speed differs.
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
+        if self.engine not in NETWORK_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {NETWORK_ENGINES}"
+            )
         if not self.stations:
             raise ValueError("a scenario needs at least one station")
         if not self.aps:

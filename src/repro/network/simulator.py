@@ -32,6 +32,7 @@ simulator's.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from ..ap.association import (
@@ -110,6 +111,12 @@ class NetworkResult:
     controllers: dict[str, object]
     #: The shared AP-side lifetime table after the run.
     scorer: LifetimeScorer
+    #: Every medium-occupying frame exchange as ``(station, start_us,
+    #: end_us, success)``, when the engine was asked to record them
+    #: (``NetworkSimulator(..., record_exchanges=True)``); None
+    #: otherwise.  The invariant tests check airtime conservation and
+    #: per-cell serialization against this log.
+    exchanges: list[tuple[str, float, float, bool]] | None = None
 
     @property
     def aggregate_throughput_mbps(self) -> float:
@@ -134,6 +141,99 @@ class NetworkResult:
 
     def station(self, name: str) -> SimResult:
         return self.stations[name]
+
+
+class _ReadyQueue:
+    """Lazy-deletion heap of ready-time *tie groups*.
+
+    Selection is bit-identical to a full linear scan: the winner
+    minimises ``(ready_us, (i - rr) % n)`` lexicographically, where
+    ``rr`` is the round-robin cursor rotated after each exchange.  The
+    rank term only matters among stations *tied* at the minimal ready
+    time, and ``rr`` changes between picks, so the heap orders distinct
+    ready values and keeps one member bucket per value; the minimal
+    bucket is re-ranked against the current ``rr`` at pop time.
+    ``ready`` holds the authoritative value per station; bucket entries
+    that disagree with it are stale and dropped during the pop
+    (duplicates of a live value are harmless -- they select the same
+    station the authoritative value would).  A saturated cell, where
+    every exchange re-ties all contenders at its end time, costs one
+    heap push and one bucket sweep per exchange -- no per-station heap
+    churn.
+
+    Shared by :class:`NetworkSimulator` and the batch scenario engine
+    (:mod:`repro.network.batch`), so both replay the exact same winner
+    sequence by construction.
+    """
+
+    __slots__ = ("_n", "ready", "_heap", "_buckets", "_last_val", "_last_bucket")
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        self.ready = [_INF] * n
+        self._heap: list[float] = []        # distinct pending ready values
+        self._buckets: dict[float, list[int]] = {}
+        self._last_val = _INF               # one-entry bucket cache: the
+        self._last_bucket: list[int] = []   # defer loop re-ties a whole cell
+
+    def update(self, i: int, ready_us: float) -> None:
+        """Record station ``i``'s (re)computed ready time."""
+        self.ready[i] = ready_us
+        if ready_us == _INF:
+            return
+        if ready_us == self._last_val:
+            self._last_bucket.append(i)
+            return
+        bucket = self._buckets.get(ready_us)
+        if bucket is None:
+            bucket = [i]
+            self._buckets[ready_us] = bucket
+            heapq.heappush(self._heap, ready_us)
+        else:
+            bucket.append(i)
+        self._last_val = ready_us
+        self._last_bucket = bucket
+
+    def pop_best(self, rr: int) -> tuple[int, float]:
+        """Remove and return ``(winner, ready_us)``; ``(-1, inf)`` when
+        every station is done.  The winner's entries are consumed: the
+        caller must :meth:`update` it after stepping it."""
+        heap = self._heap
+        ready = self.ready
+        buckets = self._buckets
+        n = self._n
+        while heap:
+            r0 = heap[0]
+            best_i = -1
+            best_rank = n
+            rest = []
+            for i in buckets[r0]:
+                if ready[i] != r0:
+                    continue
+                rank = (i - rr) % n
+                if rank < best_rank:
+                    if best_i >= 0:
+                        rest.append(best_i)
+                    best_i, best_rank = i, rank
+                else:
+                    rest.append(i)
+            if best_i < 0:
+                heapq.heappop(heap)
+                del buckets[r0]
+                if self._last_val == r0:
+                    self._last_val = _INF
+                continue
+            if rest:
+                buckets[r0] = rest
+                if self._last_val == r0:
+                    self._last_bucket = rest
+            else:
+                heapq.heappop(heap)
+                del buckets[r0]
+                if self._last_val == r0:
+                    self._last_val = _INF
+            return best_i, r0
+        return -1, _INF
 
 
 class _StationRuntime:
@@ -187,6 +287,18 @@ class _StationRuntime:
         self.assoc_moving = False
         self.airtime_us = 0.0
 
+    def on_reassociate(self) -> None:
+        """Fresh association: learned link state is stale, and the
+        reset also wiped the controller's hint knowledge, so the
+        current hint must be re-delivered (a moving station must not be
+        treated as static post-handoff)."""
+        self.controller.reset()
+        self.proc.resync_hints()
+        self.last_learned = None
+
+    def defer_until(self, t_us: float) -> None:
+        self.proc.defer_until(t_us)
+
     def advance_hint(self, t_s: float) -> bool:
         """Advance the delivery-side hint cursor to ``t_s`` (monotone)."""
         while self.hint_i < len(self.hint_times) and \
@@ -202,8 +314,18 @@ class _StationRuntime:
         return bool(self.hints.value_at(t_s, default=False))
 
 
-class NetworkSimulator:
-    """Replay one :class:`NetworkScenario` to completion."""
+class _AssociationCore:
+    """The probe / association / scorer layer, engine-agnostic.
+
+    Both scenario engines -- the reference :class:`NetworkSimulator`
+    and the batch engine (:mod:`repro.network.batch`) -- drive this
+    exact code with their own station views, so scan decisions, scorer
+    training and handoff bookkeeping cannot diverge between them.  A
+    *view* is any object with the association attributes of
+    :class:`_StationRuntime` (``spec``/``script``/``index``/``bssid``/
+    ``assoc_*``) plus ``hint_value_at``/``on_reassociate``/
+    ``defer_until``.
+    """
 
     def __init__(self, scenario: NetworkScenario) -> None:
         self._scenario = scenario
@@ -214,6 +336,9 @@ class NetworkSimulator:
         self._censored: list[tuple[str, AssociationEvent]] = []
         #: Per-cell medium busy-until (µs), for newcomers' carrier sense.
         self._cell_busy_us: dict[str, float] = {}
+        #: Per-cell member indexes, so carrier-sense deferral walks the
+        #: contention domain instead of every station in the scenario.
+        self._cell_members: dict[str, set[int]] = {}
         if scenario.pretrain_walks > 0 and \
                 scenario.association_policy == "lifetime":
             # The paper's APs "learn, over time" from observed
@@ -229,10 +354,7 @@ class NetworkSimulator:
                 assoc_range_m=scenario.assoc_range_m,
             )
 
-    # ------------------------------------------------------------------
-    # Probe / association layer
-    # ------------------------------------------------------------------
-    def _probe_hints(self, st: _StationRuntime, t_s: float):
+    def _probe_hints(self, st, t_s: float):
         """The station's augmented probe request, decoded AP-side.
 
         Hints are wire-encoded into the probe and decoded back, so the
@@ -254,7 +376,7 @@ class NetworkSimulator:
         # the probe at all is physical and uses the exact position.)
         return state, decode_hint_frame(probe.encoded_hints(), time_s=t_s)
 
-    def _choose_ap(self, st: _StationRuntime, in_range: list[ApInfo],
+    def _choose_ap(self, st, in_range: list[ApInfo],
                    x: float, y: float, px: float, py: float,
                    heading_deg: float, moving: bool, hinted: bool) -> ApInfo:
         """``x, y`` are physical (RSSI is measured at the AP, not
@@ -267,7 +389,7 @@ class NetworkSimulator:
             return self._scorer.policy(in_range, px, py, heading_deg, moving)
         return strongest_signal_policy(in_range, x, y, heading_deg, moving)
 
-    def _close_association(self, st: _StationRuntime, t_s: float,
+    def _close_association(self, st, t_s: float,
                            train: bool = True) -> None:
         if st.bssid is None:
             return
@@ -287,7 +409,7 @@ class NetworkSimulator:
         else:
             self._censored.append((st.spec.name, event))
 
-    def _scan(self, stations: list[_StationRuntime], t_s: float) -> None:
+    def _scan(self, stations, t_s: float) -> None:
         scenario = self._scenario
         for st in stations:
             state, wire_hints = self._probe_hints(st, t_s)
@@ -316,19 +438,18 @@ class NetworkSimulator:
             previous = st.bssid
             self._close_association(st, t_s)
             if previous is not None:
-                # Fresh association: learned link state is stale, and
-                # the reset also wiped the controller's hint knowledge,
-                # so the current hint must be re-delivered (a moving
-                # station must not be treated as static post-handoff).
-                st.controller.reset()
-                st.proc.resync_hints()
-                st.last_learned = None
+                self._cell_members[previous].discard(st.index)
+            self._cell_members.setdefault(chosen.bssid, set()).add(st.index)
+            if previous is not None:
+                # Fresh association: reset learned link state and
+                # re-deliver the current hint (see on_reassociate).
+                st.on_reassociate()
             st.bssid = chosen.bssid
             st.assoc_since_s = t_s
             # Carrier sense applies from the moment the station joins
             # the cell: if an exchange is already on the air there, the
             # newcomer defers past it like any other contender.
-            st.proc.defer_until(self._cell_busy_us.get(chosen.bssid, 0.0))
+            st.defer_until(self._cell_busy_us.get(chosen.bssid, 0.0))
             # Snapshot the hint values the AP saw at association time:
             # these are what the lifetime table is trained on.
             st.assoc_bearing_deg = heading_difference_deg(
@@ -339,6 +460,30 @@ class NetworkSimulator:
                 time_s=t_s, station=st.spec.name,
                 from_bssid=previous, to_bssid=chosen.bssid,
             ))
+
+class NetworkSimulator:
+    """Replay one :class:`NetworkScenario` to completion.
+
+    This is the *reference* scenario engine: per-station resumable
+    :class:`~repro.mac.LinkProcess` steppers under the exact scheduler.
+    ``NetworkScenario(engine="batch")`` routes :func:`run_scenario` to
+    the SoA batch engine instead (:mod:`repro.network.batch`), which is
+    pinned bit-identical to this one.
+
+    ``record_exchanges=True`` additionally logs every medium-occupying
+    frame exchange as ``(station, start_us, end_us, success)`` into
+    :attr:`NetworkResult.exchanges` -- the observability hook the
+    network invariant tests (airtime conservation, per-cell
+    serialization) check against.
+    """
+
+    def __init__(self, scenario: NetworkScenario,
+                 record_exchanges: bool = False) -> None:
+        self._scenario = scenario
+        self._assoc = _AssociationCore(scenario)
+        self._exchanges: list[tuple[str, float, float, bool]] | None = (
+            [] if record_exchanges else None
+        )
 
     # ------------------------------------------------------------------
     # Hint Protocol delivery (``protocol`` mode)
@@ -361,6 +506,10 @@ class NetworkSimulator:
     # ------------------------------------------------------------------
     def run(self) -> NetworkResult:
         scenario = self._scenario
+        assoc = self._assoc
+        cell_busy_us = assoc._cell_busy_us
+        cell_members = assoc._cell_members
+        exchanges = self._exchanges
         stations = [_StationRuntime(scenario, i)
                     for i in range(scenario.n_stations)]
         n = len(stations)
@@ -370,67 +519,100 @@ class NetworkSimulator:
         protocol_hints = scenario.hint_mode == "protocol"
         rr = 0  # round-robin cursor: rotates the tie-break after a win
 
+        # Ready times live in a heap instead of an O(n) per-exchange
+        # linear rescan; entries are refreshed only when a station's
+        # state can change (its own step, a carrier-sense deferral, a
+        # scan).  ``next_ready_us`` is re-queried at exactly those
+        # points, so its bookkeeping side effects (end-of-trace
+        # expiries, done transitions) still fire before the next pick,
+        # as the linear scan's would have.
+        queue = _ReadyQueue(n)
+        for i in range(n):
+            queue.update(i, stations[i].proc.next_ready_us())
+
         while True:
-            best_i = -1
-            best_ready = _INF
-            best_rank = n
-            for i in range(n):
-                ready = stations[i].proc.next_ready_us()
-                if ready == _INF:
-                    continue
-                rank = (i - rr) % n
-                if ready < best_ready or (ready == best_ready
-                                          and rank < best_rank):
-                    best_i, best_ready, best_rank = i, ready, rank
+            best_i, best_ready = queue.pop_best(rr)
             if best_i < 0:
                 break
             # Virtual time reached the next probe scan: associations
             # first, so the winner contends in its up-to-date cell.
-            while next_scan_us <= best_ready and next_scan_us < duration_us:
-                self._scan(stations, next_scan_us / 1e6)
-                next_scan_us += scan_step_us
+            if next_scan_us <= best_ready and next_scan_us < duration_us:
+                while next_scan_us <= best_ready \
+                        and next_scan_us < duration_us:
+                    assoc._scan(stations, next_scan_us / 1e6)
+                    next_scan_us += scan_step_us
+                # Handoffs re-cell stations and newcomer carrier sense
+                # defers them; refresh every ready time (scans are rare).
+                for i in range(n):
+                    queue.update(i, stations[i].proc.next_ready_us())
 
             st = stations[best_i]
             span = st.proc.step()
             if span is None:
+                queue.update(best_i, st.proc.next_ready_us())
                 continue
             start_us, end_us, success = span
             st.airtime_us += end_us - start_us
+            if exchanges is not None:
+                exchanges.append((st.spec.name, start_us, end_us, success))
             if st.bssid is not None:
-                if end_us > self._cell_busy_us.get(st.bssid, 0.0):
-                    self._cell_busy_us[st.bssid] = end_us
+                if end_us > cell_busy_us.get(st.bssid, 0.0):
+                    cell_busy_us[st.bssid] = end_us
                 # CSMA carrier sense: co-cell stations defer past the
                 # winner's exchange (unassociated stations are not in
                 # any cell and do not contend).
-                for other in stations:
-                    if other is not st and other.bssid == st.bssid \
-                            and not other.proc.done:
-                        other.proc.defer_until(end_us)
+                for j in cell_members.get(st.bssid, ()):
+                    other = stations[j]
+                    if other is not st and not other.proc.done:
+                        queue.update(j, other.proc.defer_and_ready(end_us))
             rr = (best_i + 1) % n
             if protocol_hints:
                 self._deliver_hint(st, end_us / 1e6, success)
+            queue.update(best_i, st.proc.next_ready_us())
+
+        # Trailing probe scans: every station can finish its replay
+        # (e.g. a stalled TCP source whose retransmission timeout
+        # crosses the scenario end) with scan times still pending.
+        # Those scans run like any other -- a station that walked into
+        # a new cell after its last exchange still hands off, closing
+        # (and training on) its previous association instead of
+        # misattributing the whole tail as one censored lifetime.
+        while next_scan_us < duration_us:
+            assoc._scan(stations, next_scan_us / 1e6)
+            next_scan_us += scan_step_us
 
         for st in stations:
             # End-of-run closes are censored (the association outlived
             # the scenario), so they are recorded but never trained on.
-            self._close_association(st, scenario.duration_s, train=False)
+            assoc._close_association(st, scenario.duration_s, train=False)
 
         return NetworkResult(
             scenario=scenario,
             stations={st.spec.name: st.proc.result() for st in stations},
-            handoffs=self._handoffs,
-            association_events=self._events,
-            censored_events=self._censored,
+            handoffs=assoc._handoffs,
+            association_events=assoc._events,
+            censored_events=assoc._censored,
             airtime_us={st.spec.name: st.airtime_us for st in stations},
             hints_delivered={st.spec.name: st.hints_delivered
                              for st in stations},
             controllers={st.spec.name: st.controller for st in stations},
-            scorer=self._scorer,
+            scorer=assoc._scorer,
+            exchanges=exchanges,
         )
 
 
 def run_scenario(scenario: NetworkScenario) -> NetworkResult:
-    """Convenience wrapper: build and run a :class:`NetworkSimulator`."""
+    """Replay a scenario on the engine it selects.
+
+    ``engine="reference"`` (the default) runs :class:`NetworkSimulator`;
+    ``engine="batch"`` runs the SoA batch engine
+    (:class:`~repro.network.batch.NetworkBatchEngine`), bit-identical
+    and much faster on dense cells.
+    """
+    if scenario.engine == "batch":
+        from .batch import NetworkBatchEngine
+
+        return NetworkBatchEngine(scenario).run()
     return NetworkSimulator(scenario).run()
 
 

@@ -26,6 +26,7 @@ __all__ = [
     "RateController",
     "BatchRateAdapter",
     "LoopBatchAdapter",
+    "CompositeBatchAdapter",
     "CruiseView",
     "make_batch_adapter",
 ]
@@ -140,6 +141,31 @@ class BatchRateAdapter:
     def retire(self, rows: np.ndarray) -> None:
         """Write adapter state back into the wrapped controllers."""
 
+    def reset_rows(self, rows) -> None:
+        """:meth:`RateController.reset` for the selected links.
+
+        The network scenario engine resets a station's controller on
+        every handoff (fresh association); adapters whose authoritative
+        state lives in SoA arrays must override this to reset those
+        rows, exactly as ``controller.reset()`` would have.
+        """
+        cs = self.controllers
+        for i in rows:
+            cs[int(i)].reset()
+
+    def reload_rows(self, rows) -> None:
+        """Re-read adapter state from the wrapped controller objects.
+
+        The inverse of :meth:`retire`, for engines that hand rows to
+        scalar code mid-run: the network scenario engine retires a
+        contention group's rows, drives the controller objects directly
+        through its round-robin fast path (exact per-attempt calls, no
+        array dispatch), and reloads the rows before returning to the
+        array program.  Adapters whose controllers are always
+        authoritative (the loop fallback, stateless fixed rates) need
+        no work.
+        """
+
     def compact(self, keep: np.ndarray) -> None:
         """Drop finished links; ``keep`` indexes the surviving rows."""
         self.controllers = [self.controllers[int(k)] for k in keep]
@@ -151,7 +177,10 @@ class LoopBatchAdapter(BatchRateAdapter):
     Correct for *any* controller (including user-defined ones and
     protocols with internal RNGs -- each controller's own stream is
     consumed exactly as in the single-link engines), at single-link
-    speed per attempt.
+    speed per attempt.  The per-pass overhead is trimmed where it does
+    not change semantics: bound methods are hoisted once per batch
+    (rebuilt on compaction) and NumPy value arrays are converted with
+    ``tolist`` so the hot loops touch plain Python scalars.
     """
 
     def __init__(self, controllers: Sequence[RateController]) -> None:
@@ -161,34 +190,168 @@ class LoopBatchAdapter(BatchRateAdapter):
             getattr(type(c), "observe_snr", base) is not base
             for c in controllers
         )
+        self._rebind()
+
+    def _rebind(self) -> None:
+        cs = self.controllers
+        self._on_hint = [c.on_hint for c in cs]
+        self._observe = [c.observe_snr for c in cs]
+        self._choose = [c.choose_rate for c in cs]
+        self._on_result = [c.on_result for c in cs]
 
     def on_hint_batch(self, rows, moving, time_s) -> None:
-        cs = self.controllers
-        for j, i in enumerate(self._rows(rows)):
-            cs[i].on_hint(
-                MovementHint(time_s=float(time_s[j]), moving=bool(moving[j]))
-            )
+        hint = self._on_hint
+        for i, mv, ts in zip(self._rows(rows), moving.tolist(),
+                             time_s.tolist()):
+            hint[i](MovementHint(time_s=ts, moving=mv))
 
     def observe_snr_batch(self, rows, snr_db, now_ms) -> None:
-        cs = self.controllers
-        for j, i in enumerate(self._rows(rows)):
-            cs[i].observe_snr(float(snr_db[j]), float(now_ms[j]))
+        observe = self._observe
+        for i, snr, now in zip(self._rows(rows), snr_db.tolist(),
+                               now_ms.tolist()):
+            observe[i](snr, now)
 
     def choose_rate_batch(self, rows, now_ms) -> np.ndarray:
-        cs = self.controllers
+        choose = self._choose
         sel = self._rows(rows)
-        out = np.empty(len(sel), dtype=np.int64)
-        for j, i in enumerate(sel):
-            rate = int(cs[i].choose_rate(float(now_ms[j])))
+        out = [0] * len(sel)
+        for j, (i, now) in enumerate(zip(sel, now_ms.tolist())):
+            rate = int(choose[i](now))
             if not 0 <= rate < N_RATES:
                 raise ValueError(f"controller chose invalid rate {rate}")
             out[j] = rate
+        return np.array(out, dtype=np.int64)
+
+    def on_result_batch(self, rows, rates, successes, now_ms) -> None:
+        on_result = self._on_result
+        for i, rate, ok, now in zip(self._rows(rows), rates.tolist(),
+                                    successes.tolist(), now_ms.tolist()):
+            on_result[i](rate, ok, now)
+
+    def compact(self, keep) -> None:
+        super().compact(keep)
+        self._rebind()
+
+
+class CompositeBatchAdapter(BatchRateAdapter):
+    """Partition a heterogeneous batch into per-class sub-adapters.
+
+    Mixed-protocol batches (the network scenario engine's stations, or
+    any spec list with several controller classes) used to fall back to
+    the all-Python loop for *every* link; here each controller class
+    drives its own rows through its own vectorized adapter (or the loop
+    fallback, per class), with row indexes mapped through per-group
+    index arrays.  Results are bit-identical to driving the controllers
+    one by one -- each sub-adapter already guarantees that for its class
+    and the groups touch disjoint rows.  No cruise view is exposed:
+    cruise tableaux need one homogeneous ``current()`` array, and the
+    engines that want cruise keep partitioning by class upstream.
+    """
+
+    def __init__(self, controllers: Sequence[RateController]) -> None:
+        super().__init__(controllers)
+        slots: dict[type, int] = {}
+        members: list[list[int]] = []
+        classes: list[type] = []
+        for i, c in enumerate(controllers):
+            cls = type(c)
+            slot = slots.get(cls)
+            if slot is None:
+                slot = slots[cls] = len(members)
+                members.append([])
+                classes.append(cls)
+            members[slot].append(i)
+        self._subs: list[BatchRateAdapter] = []
+        self._rows_of: list[np.ndarray] = []
+        n = len(controllers)
+        self._group_of = np.empty(n, dtype=np.int64)
+        self._local_of = np.empty(n, dtype=np.int64)
+        for cls, group in zip(classes, members):
+            step = cls.__dict__.get("step_batch")
+            sub_controllers = [controllers[i] for i in group]
+            if step is not None:
+                sub = step.__get__(None, cls)(sub_controllers)
+            else:
+                sub = LoopBatchAdapter(sub_controllers)
+            rows = np.array(group, dtype=np.int64)
+            self._subs.append(sub)
+            self._rows_of.append(rows)
+            self._group_of[rows] = len(self._subs) - 1
+            self._local_of[rows] = np.arange(len(rows))
+        self.uses_snr = any(s.uses_snr for s in self._subs)
+        self.needs_choose_time = any(
+            getattr(s, "needs_choose_time", True) for s in self._subs
+        )
+
+    def _split(self, rows):
+        """Yield ``(sub, local_rows, positions)`` per touched group.
+
+        ``local_rows`` indexes the sub-adapter's own row space (``None``
+        meaning all of it, in order) and ``positions`` indexes the
+        caller's value arrays (dense row ids when ``rows`` is None).
+        """
+        if rows is None:
+            for sub, group_rows in zip(self._subs, self._rows_of):
+                if len(group_rows):
+                    yield sub, None, group_rows
+            return
+        groups = self._group_of[rows]
+        for slot, sub in enumerate(self._subs):
+            positions = np.flatnonzero(groups == slot)
+            if positions.size:
+                yield sub, self._local_of[rows[positions]], positions
+
+    def on_hint_batch(self, rows, moving, time_s) -> None:
+        for sub, local, pos in self._split(rows):
+            sub.on_hint_batch(local, moving[pos], time_s[pos])
+
+    def observe_snr_batch(self, rows, snr_db, now_ms) -> None:
+        for sub, local, pos in self._split(rows):
+            sub.observe_snr_batch(local, snr_db[pos], now_ms[pos])
+
+    def choose_rate_batch(self, rows, now_ms) -> np.ndarray:
+        n = len(self.controllers) if rows is None else len(rows)
+        out = np.empty(n, dtype=np.int64)
+        for sub, local, pos in self._split(rows):
+            out[pos] = sub.choose_rate_batch(
+                local, None if now_ms is None else now_ms[pos]
+            )
         return out
 
     def on_result_batch(self, rows, rates, successes, now_ms) -> None:
-        cs = self.controllers
-        for j, i in enumerate(self._rows(rows)):
-            cs[i].on_result(int(rates[j]), bool(successes[j]), float(now_ms[j]))
+        for sub, local, pos in self._split(rows):
+            sub.on_result_batch(local, rates[pos], successes[pos], now_ms[pos])
+
+    def retire(self, rows) -> None:
+        for sub, local, _pos in self._split(np.asarray(rows, dtype=np.int64)):
+            sub.retire(local)
+
+    def reset_rows(self, rows) -> None:
+        for sub, local, _pos in self._split(np.asarray(rows, dtype=np.int64)):
+            sub.reset_rows(local)
+
+    def reload_rows(self, rows) -> None:
+        for sub, local, _pos in self._split(np.asarray(rows, dtype=np.int64)):
+            sub.reload_rows(local)
+
+    def compact(self, keep) -> None:
+        super().compact(keep)
+        keep = np.asarray(keep, dtype=np.int64)
+        new_rows: list[list[int]] = [[] for _ in self._subs]
+        local_keep: list[list[int]] = [[] for _ in self._subs]
+        for new_i, old_i in enumerate(keep.tolist()):
+            slot = int(self._group_of[old_i])
+            new_rows[slot].append(new_i)
+            local_keep[slot].append(int(self._local_of[old_i]))
+        n = len(keep)
+        self._group_of = np.empty(n, dtype=np.int64)
+        self._local_of = np.empty(n, dtype=np.int64)
+        for slot, sub in enumerate(self._subs):
+            sub.compact(np.array(local_keep[slot], dtype=np.int64))
+            rows = np.array(new_rows[slot], dtype=np.int64)
+            self._rows_of[slot] = rows
+            self._group_of[rows] = slot
+            self._local_of[rows] = np.arange(len(rows))
 
 
 class CruiseView:
@@ -230,13 +393,15 @@ class CruiseView:
 def make_batch_adapter(controllers: Sequence[RateController]) -> BatchRateAdapter:
     """Adapter for a batch: the class's vectorized one if homogeneous.
 
-    Heterogeneous batches (mixed controller classes) always get the loop
-    fallback; homogeneous ones get whatever ``cls.step_batch`` builds,
-    which may itself fall back for unsupported configurations.  The
-    class must define ``step_batch`` *itself*: a subclass that merely
-    inherits a parent's vectorized adapter may have overridden the
-    scalar hooks the adapter replicates, so it takes the always-correct
-    loop instead of silently replaying the parent's semantics.
+    Heterogeneous batches (mixed controller classes) are partitioned by
+    class through :class:`CompositeBatchAdapter`, each class driving its
+    rows with its own vectorized adapter; homogeneous ones get whatever
+    ``cls.step_batch`` builds, which may itself fall back for
+    unsupported configurations.  The class must define ``step_batch``
+    *itself*: a subclass that merely inherits a parent's vectorized
+    adapter may have overridden the scalar hooks the adapter
+    replicates, so it takes the always-correct loop instead of silently
+    replaying the parent's semantics.
     """
     if not controllers:
         return LoopBatchAdapter([])
@@ -245,4 +410,5 @@ def make_batch_adapter(controllers: Sequence[RateController]) -> BatchRateAdapte
         step = cls.__dict__.get("step_batch")
         if step is not None:
             return step.__get__(None, cls)(controllers)
-    return LoopBatchAdapter(controllers)
+        return LoopBatchAdapter(controllers)
+    return CompositeBatchAdapter(controllers)

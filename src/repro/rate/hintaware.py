@@ -30,7 +30,7 @@ from ..channel.rates import N_RATES
 from ..core.hints import Hint, MovementHint
 from .base import BatchRateAdapter, LoopBatchAdapter, RateController
 from .rapidsample import RapidSample, RapidSampleSoA, _RapidCruise
-from .samplerate import SampleRate
+from .samplerate import SampleRate, SampleRateSoA
 
 __all__ = ["HintAwareRateController"]
 
@@ -120,10 +120,13 @@ class _HintAwareBatchAdapter(BatchRateAdapter):
     The mobile side (RapidSample) runs as a shared SoA -- mobile-mode
     attempts, which dominate exactly when rate decisions are cheapest to
     vectorize, are array programs and cruise-eligible.  The static side
-    keeps driving each link's own static controller object (SampleRate's
-    sliding window and sampling RNG stay per-instance, bit-identical to
-    the single-link engines).  Hint switches are rare and handled per
-    link, replicating :meth:`HintAwareRateController.on_hint` exactly.
+    runs as a :class:`~repro.rate.samplerate.SampleRateSoA` whenever
+    every static controller is a plain SampleRate (the default), so
+    static-mode attempts are array programs too; custom static
+    controllers keep the per-instance loop (bit-identical to the
+    single-link engines either way).  Hint switches are rare and handled
+    per link, replicating :meth:`HintAwareRateController.on_hint`
+    exactly.
     """
 
     def __init__(self, controllers: Sequence[HintAwareRateController]) -> None:
@@ -132,6 +135,13 @@ class _HintAwareBatchAdapter(BatchRateAdapter):
         self.statics = [c._static for c in controllers]
         self.moving = np.array([c._moving for c in controllers], dtype=bool)
         self._reset_on_switch = [bool(c._reset_on_switch) for c in controllers]
+        if controllers and all(
+            type(s) is SampleRate and s.n_rates == controllers[0].n_rates
+            for s in self.statics
+        ):
+            self.static_soa: SampleRateSoA | None = SampleRateSoA(self.statics)
+        else:
+            self.static_soa = None
         base = RateController.observe_snr
         # observe_snr delegates to the active side; RapidSample ignores
         # it, so only an overriding static controller makes SNR matter.
@@ -149,6 +159,8 @@ class _HintAwareBatchAdapter(BatchRateAdapter):
             # Outgoing side's operating point seeds the incoming side.
             if self.moving[i]:
                 seed_rate = int(self.soa.current[i])
+            elif self.static_soa is not None:
+                seed_rate = int(self.static_soa.current[i])
             else:
                 seed_rate = getattr(self.statics[i], "current_rate", None)
             self.moving[i] = mv
@@ -158,8 +170,11 @@ class _HintAwareBatchAdapter(BatchRateAdapter):
                     self.soa.reset_row(i)
                 if seed_rate is not None:
                     self.soa.current[i] = int(seed_rate)
-            elif seed_rate is not None and hasattr(self.statics[i], "_current"):
-                self.statics[i]._current = int(seed_rate)
+            elif seed_rate is not None:
+                if self.static_soa is not None:
+                    self.static_soa.current[i] = int(seed_rate)
+                elif hasattr(self.statics[i], "_current"):
+                    self.statics[i]._current = int(seed_rate)
 
     def observe_snr_batch(self, rows, snr_db, now_ms) -> None:
         for j, i in enumerate(self._rows(rows)):
@@ -175,11 +190,17 @@ class _HintAwareBatchAdapter(BatchRateAdapter):
             out = self.soa.current[rows]
             positions = np.flatnonzero(~self.moving[rows])
             static_rows = rows[positions]
-        for j, i in zip(positions, static_rows):
-            rate = int(self.statics[i].choose_rate(float(now_ms[j])))
-            if not 0 <= rate < N_RATES:
-                raise ValueError(f"controller chose invalid rate {rate}")
-            out[j] = rate
+        if positions.size:
+            if self.static_soa is not None:
+                out[positions] = self.static_soa.choose(
+                    static_rows, now_ms[positions])
+            else:
+                for j, i in zip(positions, static_rows):
+                    rate = int(self.statics[i].choose_rate(float(now_ms[j])))
+                    if not 0 <= rate < N_RATES:
+                        raise ValueError(
+                            f"controller chose invalid rate {rate}")
+                    out[j] = rate
         return out
 
     def on_result_batch(self, rows, rates, successes, now_ms) -> None:
@@ -188,20 +209,48 @@ class _HintAwareBatchAdapter(BatchRateAdapter):
         mi = np.flatnonzero(mv)
         if mi.size:
             self.soa.on_result(sel[mi], rates[mi], successes[mi], now_ms[mi])
-        for j in np.flatnonzero(~mv):
-            self.statics[int(sel[j])].on_result(
-                int(rates[j]), bool(successes[j]), float(now_ms[j])
-            )
+        si = np.flatnonzero(~mv)
+        if si.size:
+            if self.static_soa is not None:
+                self.static_soa.on_result(
+                    sel[si], rates[si], successes[si], now_ms[si])
+            else:
+                for j in si:
+                    self.statics[int(sel[j])].on_result(
+                        int(rates[j]), bool(successes[j]), float(now_ms[j])
+                    )
 
     def retire(self, rows) -> None:
         self.soa.retire_rows(rows, [c._mobile for c in self.controllers])
+        if self.static_soa is not None:
+            self.static_soa.retire_rows(rows, self.statics)
         for r in rows:
             self.controllers[int(r)]._moving = bool(self.moving[r])
+
+    def reset_rows(self, rows) -> None:
+        for r in rows:
+            r = int(r)
+            self.soa.reset_row(r)
+            if self.static_soa is not None:
+                self.static_soa.reset_row(r)
+            else:
+                self.statics[r].reset()
+            self.moving[r] = False
+            self.controllers[r].switch_count = 0
+
+    def reload_rows(self, rows) -> None:
+        self.soa.load_rows(rows, [c._mobile for c in self.controllers])
+        if self.static_soa is not None:
+            self.static_soa.load_rows(rows, self.statics)
+        for r in rows:
+            self.moving[r] = self.controllers[int(r)]._moving
 
     def compact(self, keep) -> None:
         super().compact(keep)
         self.soa.compact(keep)
         self.statics = [self.statics[int(k)] for k in keep]
+        if self.static_soa is not None:
+            self.static_soa.compact(keep)
         self.moving = self.moving[keep]
         self.cruise._moving = self.moving
         self._reset_on_switch = [self._reset_on_switch[int(k)] for k in keep]

@@ -98,6 +98,40 @@ class TestLinkProcess:
         proc.defer_until(proc.now_us + 10.5)
         assert proc.now_us == span[1] + 11
 
+    @pytest.mark.parametrize("traffic_cls", [UdpSource, TcpSource])
+    def test_defer_and_ready_equals_defer_plus_ready(self, traffic_cls):
+        """The fused carrier-sense call is a verbatim copy of
+        ``defer_until`` + ``next_ready_us``; this pins the two code
+        paths to each other across stepped/deferred/end-of-trace states
+        so an edit to one cannot silently drift the other."""
+        import random
+
+        trace = cached_trace("office", "mixed", GOLDEN_SEED, 2.0)
+
+        def make():
+            return LinkProcess(trace, RATE_PROTOCOLS["RapidSample"](
+                GOLDEN_SEED), traffic_cls(), None,
+                SimConfig(seed=GOLDEN_SEED))
+
+        fused, split = make(), make()
+        rng = random.Random(42)
+        while not fused.done:
+            for _ in range(rng.randrange(0, 4)):
+                fused.step()
+                split.step()
+            # Defer by anything from a no-op to past the trace end,
+            # fractional ends included (the ceil path).
+            target = fused.now_us + rng.choice(
+                [-5.0, 0.0, 3.5, 250.0, 10_000.0, 2.5e6])
+            a = fused.defer_and_ready(target)
+            split.defer_until(target)
+            b = split.next_ready_us()
+            assert a == b
+            assert fused.now_us == split.now_us
+            assert fused.done == split.done
+        assert split.done
+        assert_results_identical(fused.result(), split.result())
+
     def test_resync_redelivers_the_current_hint(self):
         """After a controller reset (fresh association) the stepper must
         re-fire on_hint with the current value, not wait for an edge."""
@@ -329,6 +363,51 @@ class TestAssociationAndHints:
         # The walker moves through the whole run; post-handoff the
         # re-synced hint must have restored the mobile-tuned protocol.
         assert controller.moving
+
+    def test_trailing_scans_observe_late_handoffs(self, monkeypatch):
+        """Regression: scans scheduled after the last exchange used to
+        be skipped entirely, so a station that finished its replay
+        early (stalled TCP) and then walked into a new cell never
+        handed off -- the late association was never observed and the
+        whole tail was misattributed to one censored lifetime."""
+        from repro.channel import ChannelTrace
+        from repro.channel.rates import N_RATES
+
+        def all_fail_trace(scenario, index):
+            n_slots = int(round(scenario.duration_s / 0.005))
+            return ChannelTrace(
+                fates=np.zeros((n_slots, N_RATES), dtype=bool),
+                snr_db=np.zeros(n_slots),
+                moving=np.ones(n_slots, dtype=bool),
+            )
+
+        monkeypatch.setattr("repro.network.simulator.station_trace",
+                            all_fail_trace)
+        scenario = NetworkScenario(
+            name="late-handoff",
+            stations=(StationSpec(name="w0", mobility="walk", speed_mps=1.0,
+                                  heading_deg=90.0, start_xy=(0.0, 0.0),
+                                  traffic="tcp", protocol="RapidSample"),),
+            aps=(ApSpec(bssid="a", x_m=0.0, y_m=8.0),
+                 ApSpec(bssid="b", x_m=12.0, y_m=8.0)),
+            environment="office", duration_s=8.0, seed=GOLDEN_SEED,
+            hint_mode="off",
+        )
+        result = run_scenario(scenario)
+        station = result.station("w0")
+        # Nothing ever delivers, so TCP's growing RTO stalls the source
+        # past the scenario end well before the walk reaches cell b.
+        assert station.delivered == 0
+        assert result.handoff_count == 1, (
+            "the post-replay walk into cell b must still hand off via "
+            "the trailing scans"
+        )
+        handoff = result.handoffs[-1]
+        assert (handoff.from_bssid, handoff.to_bssid) == ("a", "b")
+        # The handoff closed (and trained on) the first association;
+        # only the final one is censored.
+        assert len(result.association_events) == 1
+        assert len(result.censored_events) == 1
 
     def test_protocol_mode_delivers_hints_over_the_air(self):
         scenario = solo_scenario(protocol="HintAware", mobility="pace",
