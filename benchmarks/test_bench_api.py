@@ -1,0 +1,73 @@
+"""Session-layer benchmarks: ``engine="auto"`` planning overhead.
+
+The acceptance bar for the ``repro.api`` port: on the mixed 64-task
+fig3-style grid (the shape every comparison figure fans out), a
+default ``Session`` -- which *plans* the workload instead of being
+hand-pointed at :class:`BatchExperimentPool` -- must produce
+bit-identical numbers and be no slower than the hand-picked pool path
+beyond the repo's standard 20% tolerance.  Ratios are CPU time, best
+of three, like the engine benchmarks; the measured numbers are emitted
+as a ``BENCH_api.json`` artifact and additionally guarded against the
+committed ``BENCH_api_baseline.json`` pin when present.
+"""
+
+from conftest import check_regression, load_bench_baseline, write_bench_artifact
+
+from test_bench_engine import _best_of_cpu, _GRID_DURATION_S, _grid_tasks
+
+from repro.api import GridSpec, Session
+from repro.experiments.common import cached_hints, cached_trace
+from repro.experiments.parallel import BatchExperimentPool
+
+
+def _grid_specs():
+    """The 64-task grid as specs: one GridSpec per mobility mode, whose
+    concatenated expansion order equals the legacy task list."""
+    return [
+        GridSpec(protocols=("RapidSample",), envs=(env,), mode=mode,
+                 n_seeds=16, seed0=0, duration_s=_GRID_DURATION_S,
+                 tcp=False, best_samplerate_protocols=())
+        for mode, env in (("static", "office"), ("mobile", "office"),
+                          ("mixed", "hallway"), ("vehicular", "vehicular"))
+    ]
+
+
+def test_session_auto_no_slower_than_hand_picked_pool():
+    import pytest
+
+    pytest.importorskip("pytest_benchmark")
+
+    tasks = _grid_tasks()
+    for task in tasks:  # warm the store outside the timings
+        cached_trace(task.env, task.mode, task.seed, task.duration_s)
+        cached_hints(task.mode, task.seed, task.duration_s)
+
+    pool = BatchExperimentPool(jobs=1)
+    session = Session(jobs=1)          # engine="auto"
+    specs = _grid_specs()
+
+    t_pool, pool_grid = _best_of_cpu(lambda: pool.throughputs(tasks))
+    t_session, session_runs = _best_of_cpu(lambda: session.map(specs))
+
+    session_grid = [v for run in session_runs for v in run.throughputs]
+    assert session_grid == pool_grid, "session plan diverged from pool"
+    assert all(run.engine == "batch" for run in session_runs), (
+        "auto stopped batching the 64-task grid"
+    )
+
+    ratio = t_pool / t_session
+    print(f"\n[api] mixed 64-task grid: BatchExperimentPool {t_pool:.2f}s, "
+          f"Session(auto) {t_session:.2f}s -> {ratio:.2f}x")
+    write_bench_artifact("api", {
+        "grid_tasks": len(tasks),
+        "pool_s": t_pool,
+        "session_s": t_session,
+        "session_vs_pool": ratio,
+    })
+    # The hard acceptance floor: auto planning may cost at most the
+    # repo's standard 20% tolerance over the hand-picked pool.
+    assert ratio >= 0.8, (
+        f"Session(auto) is >20% slower than BatchExperimentPool "
+        f"({ratio:.2f}x)"
+    )
+    check_regression(ratio, load_bench_baseline("api"), "session_vs_pool")

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Hint-aware access-point policies (Section 5.2).
 
-Reproduces the Figure 5-1 disassociation stall and its fix, then the
-mobile-favouring scheduler and the learned association policy.
+Reproduces the Figure 5-1 disassociation stall and its fix, then fans
+the mobile-favouring scheduler and the learned association policy out
+through a `repro.api.Session` (the same worker used by the `extras`
+evaluation stage).
 """
 
 from repro.ap import DisassociationConfig, simulate_disassociation
-from repro.experiments.extras import run_association, run_scheduling
+from repro.api import Session
+from repro.experiments.extras import run_extra_task
 
 
 def main() -> None:
@@ -21,14 +24,16 @@ def main() -> None:
               f"{series[36:46].mean():4.1f} Mb/s during the episode, "
               f"stall {stall:.0f} s")
 
+    session = Session()
+    sched, assoc = session.scatter(
+        run_extra_task, [("scheduling", 0), ("association", 0)])
+
     print("\nAdaptive scheduling (static batch + transient mobile client):")
-    sched = run_scheduling()
     for policy, row in sched.items():
         print(f"  {policy:12s} aggregate {row['aggregate']:6d} packets "
               f"(mobile got {row['mobile']})")
 
     print("\nAdaptive association (learned lifetime scores vs strongest signal):")
-    assoc = run_association()
     print(f"  mean association lifetime: baseline "
           f"{assoc['baseline_mean_lifetime_s']:.1f} s -> hint-aware "
           f"{assoc['hint_aware_mean_lifetime_s']:.1f} s "

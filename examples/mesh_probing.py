@@ -6,6 +6,10 @@ neighbour alternates between parked and moving; the adaptive prober
 follows the movement hint (1 probe/s still, 10 probes/s moving, 1 s
 hold), matching the tracking quality of always-fast probing at a
 fraction of the bandwidth.
+
+(This example drives the topology layer directly -- probing runs are
+not replay specs; link/grid/network workloads go through
+`repro.api.Session` as in the other examples.)
 """
 
 from repro.core import HintAwareNode

@@ -2,15 +2,13 @@
 """Quickstart: the sensor-hint pipeline in one page.
 
 Builds a motion script (still -> walk -> still), runs the synthetic
-accelerometer through the paper's jerk detector, generates a channel
-trace from the same motion, and compares hint-aware rate adaptation
-against SampleRate and RapidSample on it.
+accelerometer through the paper's jerk detector, then declares the
+rate-adaptation comparison as `repro.api` specs and lets a `Session`
+plan and replay them -- the same entry point every figure driver uses.
 """
 
-from repro.channel import OFFICE, generate_trace
+from repro.api import LinkReplaySpec, Session
 from repro.core import HintAwareNode
-from repro.mac import SimConfig, TcpSource, run_link
-from repro.rate import HintAwareRateController, RapidSample, SampleRate
 from repro.sensors import Motion, MotionScript, MotionSegment, pacing_script
 
 
@@ -25,25 +23,32 @@ def main() -> None:
     # 2. The device runs the full hint pipeline of Figure 2-1.
     node = HintAwareNode(script, seed=42)
     hints = node.movement_hint_series()
-    transitions = hints.edges()
     print("movement hint transitions (time, moving):")
-    for t, moving in transitions:
+    for t, moving in hints.edges():
         print(f"  t={t:6.2f}s -> {bool(moving)}")
 
-    # 3. The same motion drives the wireless channel.
-    trace = generate_trace(OFFICE, script, seed=42)
-    print(f"\nchannel: {trace}")
+    # 3. Declare the workload: the same motion drives the channel of
+    #    each replay (specs are JSON-round-trippable plain values).
+    specs = [
+        LinkReplaySpec.from_script(protocol, script, env="office", seed=42)
+        for protocol in ("SampleRate", "RapidSample", "HintAware")
+    ]
+    print(f"\nworkload: {len(specs)} replays over a "
+          f"{specs[0].duration_s:.0f} s office trace")
 
-    # 4. Replay three rate-adaptation protocols over the trace.
+    # 4. One session runs everything: engine choice, caching, seeds.
+    session = Session()
+    labels = {
+        "SampleRate": "SampleRate (static-tuned)",
+        "RapidSample": "RapidSample (mobile-tuned)",
+        "HintAware": "Hint-aware (switches)",
+    }
     print("\nTCP throughput over the mixed trace:")
-    for name, controller in [
-        ("SampleRate (static-tuned)", SampleRate()),
-        ("RapidSample (mobile-tuned)", RapidSample()),
-        ("Hint-aware (switches)", HintAwareRateController()),
-    ]:
-        result = run_link(trace, controller, TcpSource(),
-                          hint_series=hints, config=SimConfig(seed=1))
-        print(f"  {name:28s} {result.throughput_mbps:5.2f} Mb/s")
+    for spec, run in zip(specs, session.map(specs)):
+        result = run.result
+        print(f"  {labels[spec.protocol]:28s} "
+              f"{result.throughput_mbps:5.2f} Mb/s "
+              f"[{run.engine} engine]")
 
 
 if __name__ == "__main__":

@@ -4,58 +4,52 @@
 moving between aisles, all the while streaming through the in-store
 network".
 
-Simulates several stop-and-go cycles and reports how each rate
-adaptation protocol fares, plus what the hint switch actually did.
+Declares several stop-and-go cycles as one `repro.api` workload -- one
+spec per rate-adaptation protocol over the same shopper motion -- and
+reports how each protocol fares from the session's typed results.
 """
 
-from repro.channel import OFFICE, generate_trace
-from repro.core import HintAwareNode
-from repro.mac import SimConfig, TcpSource, run_link
-from repro.rate import (
-    CHARM,
-    HintAwareRateController,
-    RBAR,
-    RRAA,
-    RapidSample,
-    SampleRate,
-)
+from repro.api import LinkReplaySpec, Session, segments_of
 from repro.sensors import stop_and_go_script
+
+PROTOCOLS = ("HintAware", "SampleRate", "RapidSample", "RRAA", "RBAR", "CHARM")
 
 
 def main() -> None:
     script = stop_and_go_script(n_cycles=3, still_s=15.0, move_s=10.0)
-    node = HintAwareNode(script, seed=7)
-    hints = node.movement_hint_series()
-    trace = generate_trace(OFFICE, script, seed=7)
+    segments = segments_of(script)
+    specs = [
+        LinkReplaySpec(protocol=protocol, env="office", seed=7,
+                       duration_s=script.duration_s, tcp=True,
+                       segments=segments)
+        for protocol in PROTOCOLS
+    ]
 
+    moving_s = sum(seg[1] for seg in segments if seg[0] != "stationary")
     print(f"shopper trace: {script.duration_s:.0f} s, "
-          f"{trace.moving_fraction():.0%} of it on the move\n")
+          f"{moving_s / script.duration_s:.0%} of it on the move\n")
 
-    controllers = {
-        "HintAware": HintAwareRateController(),
-        "SampleRate": SampleRate(),
-        "RapidSample": RapidSample(),
-        "RRAA": RRAA(),
-        "RBAR": RBAR(training_seed=7),
-        "CHARM": CHARM(training_seed=7),
-    }
-    results = {}
-    for name, controller in controllers.items():
-        results[name] = run_link(trace, controller, TcpSource(),
-                                 hint_series=hints,
-                                 config=SimConfig(seed=7))
+    session = Session(seed=7)
+    runs = dict(zip(PROTOCOLS, session.map(specs)))
+    best = max(runs.values(), key=lambda r: r.result.throughput_mbps)
 
-    best = max(results.values(), key=lambda r: r.throughput_mbps)
     print("protocol      throughput   vs best   packets")
-    for name, result in sorted(results.items(),
-                               key=lambda kv: -kv[1].throughput_mbps):
-        ratio = result.throughput_mbps / best.throughput_mbps
+    for name, run in sorted(runs.items(),
+                            key=lambda kv: -kv[1].result.throughput_mbps):
+        result = run.result
+        ratio = result.throughput_mbps / best.result.throughput_mbps
         print(f"  {name:12s} {result.throughput_mbps:6.2f} Mb/s  "
               f"{ratio:5.0%}   {result.delivered}")
 
-    hint_ctrl = controllers["HintAware"]
-    print(f"\nhint-aware switches: {hint_ctrl.switch_count} "
-          f"(6 movement transitions in the script)")
+    # The hint series the hint-aware run consumed: each boundary
+    # between a still and a moving segment drives one protocol switch
+    # (3 stop-and-go cycles = 5 internal boundaries; the final moving
+    # segment ends with the trace, not with a transition back).
+    transitions = sum(
+        1 for a, b in zip(segments, segments[1:])
+        if (a[0] == "stationary") != (b[0] == "stationary")
+    )
+    print(f"\nmovement transitions in the shopper script: {transitions}")
 
 
 if __name__ == "__main__":

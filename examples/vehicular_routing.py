@@ -6,7 +6,8 @@ relationship, then compares hint-free (min-hop) route selection with
 CTE-aware selection.
 """
 
-from repro.experiments import route_stability, table5_1
+from repro.api import Session
+from repro.experiments import route_stability
 from repro.vehicular import extract_links, median_duration_by_bucket, simulate_vehicles
 
 
@@ -17,9 +18,12 @@ def main() -> None:
     for bucket, value in medians.items():
         print(f"  {bucket:10s} {value:5.1f} s")
 
+    # One session drives the ensemble fan-out (jobs default to
+    # REPRO_JOBS, so the example parallelises like the runner does).
+    session = Session(seed=1)
     print("\nRoute stability, CTE vs hint-free (2 networks):")
     result = route_stability.run(n_networks=2, duration_s=250,
-                                 n_pairs_per_network=25)
+                                 n_pairs_per_network=25, session=session)
     print(f"  median CTE route lifetime     {result['median_cte_lifetime_s']:5.1f} s")
     print(f"  median min-hop route lifetime {result['median_minhop_lifetime_s']:5.1f} s")
     print(f"  stability factor              {result['stability_factor']:5.1f}x")

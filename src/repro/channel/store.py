@@ -42,6 +42,7 @@ __all__ = [
     "default_store_root",
     "generator_fingerprint",
     "get_store",
+    "set_store_root",
 ]
 
 #: Bump for semantic invalidations that :func:`generator_fingerprint`
@@ -204,6 +205,18 @@ class TraceStore:
 
 _STORE: TraceStore | None = None
 _STORE_ROOT: Path | None = None
+
+
+def set_store_root(root: str | Path | None) -> None:
+    """Redirect the process-wide store (``None`` disables it).
+
+    Writes ``REPRO_TRACE_STORE`` so pool worker processes -- which
+    inherit the environment, not this module's globals -- resolve the
+    same root; :func:`get_store` picks the change up on its next call.
+    This is what ``repro.api.Session(store=...)`` and the runner's
+    ``--store`` flag call.
+    """
+    os.environ[_ENV_VAR] = "off" if root is None else os.fspath(root)
 
 
 def get_store() -> TraceStore:

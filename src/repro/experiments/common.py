@@ -35,6 +35,8 @@ __all__ = [
     "script_for_mode",
     "cached_trace",
     "cached_hints",
+    "cached_script_trace",
+    "cached_script_hints",
     "protocol_throughput",
     "best_samplerate_throughput",
     "print_table",
@@ -130,6 +132,46 @@ def cached_hints(mode: str, seed: int, duration_s: float = 20.0) -> HintSeries:
         return HintSeries(times_s=times_s, values=values)
     script = script_for_mode(mode, seed, duration_s)
     node = HintAwareNode(script, seed=seed)
+    series = node.movement_hint_series()
+    store.put_series(key, series.times_s, series.values)
+    return series
+
+
+@lru_cache(maxsize=64)
+def cached_script_trace(env_name: str, segments: tuple, seed: int) -> ChannelTrace:
+    """Memoised trace for an explicit plain-value motion script.
+
+    The content-addressed twin of :func:`cached_trace` for workloads
+    outside the four evaluation modes (``repro.api`` specs carrying
+    ``segments``): the store key covers the segments themselves, so no
+    script salt is needed -- the recipe *is* the key.
+    """
+    from ..sensors import script_from_segments
+
+    store = get_store()
+    key = store.key("trace", env=env_name, segments=segments, seed=seed)
+    trace = store.get_trace(key)
+    if trace is not None:
+        return trace
+    env = environment_by_name(env_name)
+    trace = generate_trace(env, script_from_segments(segments), seed=seed)
+    store.put_trace(key, trace)
+    return trace
+
+
+@lru_cache(maxsize=64)
+def cached_script_hints(segments: tuple, seed: int) -> HintSeries:
+    """Movement-hint series for an explicit plain-value motion script
+    (the :func:`cached_hints` twin of :func:`cached_script_trace`)."""
+    from ..sensors import script_from_segments
+
+    store = get_store()
+    key = store.key("hints", segments=segments, seed=seed)
+    stored = store.get_series(key)
+    if stored is not None:
+        times_s, values = stored
+        return HintSeries(times_s=times_s, values=values)
+    node = HintAwareNode(script_from_segments(segments), seed=seed)
     series = node.movement_hint_series()
     store.put_series(key, series.times_s, series.values)
     return series

@@ -1,7 +1,12 @@
 """Drivers for the Chapter 5 applications without dedicated figures:
 adaptive association (5.2.1), adaptive scheduling (5.2.2), PHY
 parameter adaptation (5.3), power saving (5.4), the ETX worked example
-(4.2) and the microphone activity hint (5.6)."""
+(4.2) and the microphone activity hint (5.6).
+
+The six sub-experiments are independent pure functions of the seed, so
+``main`` fans them out over :meth:`repro.api.Session.scatter` (ordered
+collection keeps the report layout identical for any job count).
+"""
 
 from __future__ import annotations
 
@@ -28,6 +33,7 @@ __all__ = [
     "run_power",
     "run_etx_example",
     "run_microphone",
+    "run_extra_task",
     "main",
 ]
 
@@ -116,23 +122,47 @@ def run_microphone(seed: int = 0) -> dict:
     }
 
 
-def main(seed: int = 0) -> dict:
-    assoc = run_association(seed)
-    print_table("Adaptive association (5.2.1)", assoc)
-    sched = run_scheduling(seed)
-    print_table("Adaptive scheduling (5.2.2)", sched, value_format="{:.0f}")
-    phy = run_phy()
-    print_table("Cyclic prefix adaptation (5.3)", phy)
-    power = run_power(seed)
-    print_table("Movement-based power saving (5.4)", power)
-    etx = run_etx_example()
-    print_table("ETX mis-selection example (4.2)", etx)
-    mic = run_microphone(seed)
-    print_table("Microphone activity hint (5.6)", mic)
-    return {
-        "association": assoc, "scheduling": sched, "phy": phy,
-        "power": power, "etx": etx, "microphone": mic,
-    }
+#: Sub-experiment registry: name -> (runner, takes_seed).  ``main``'s
+#: fan-out and any external caller share it.
+_EXTRAS = {
+    "association": (run_association, True),
+    "scheduling": (run_scheduling, True),
+    "phy": (run_phy, False),
+    "power": (run_power, True),
+    "etx": (run_etx_example, False),
+    "microphone": (run_microphone, True),
+}
+
+#: (title, value_format) per sub-experiment, in report order.
+_REPORT = {
+    "association": ("Adaptive association (5.2.1)", "{:.3f}"),
+    "scheduling": ("Adaptive scheduling (5.2.2)", "{:.0f}"),
+    "phy": ("Cyclic prefix adaptation (5.3)", "{:.3f}"),
+    "power": ("Movement-based power saving (5.4)", "{:.3f}"),
+    "etx": ("ETX mis-selection example (4.2)", "{:.3f}"),
+    "microphone": ("Microphone activity hint (5.6)", "{:.3f}"),
+}
+
+
+def run_extra_task(args: tuple) -> dict:
+    """Top-level (picklable) worker: one sub-experiment by name."""
+    name, seed = args
+    runner, takes_seed = _EXTRAS[name]
+    return runner(seed) if takes_seed else runner()
+
+
+def main(seed: int = 0, session=None) -> dict:
+    if session is None:
+        from ..api import Session
+
+        session = Session()
+    names = list(_REPORT)
+    results = session.scatter(run_extra_task, [(name, seed) for name in names])
+    out = dict(zip(names, results))
+    for name in names:
+        title, value_format = _REPORT[name]
+        print_table(title, out[name], value_format=value_format)
+    return out
 
 
 if __name__ == "__main__":

@@ -14,20 +14,20 @@ SampleRate gets the paper's post-facto bias: for each trace the best of
 several window parameters is kept ("we post-process the trace to
 determine the best SampleRate parameter to use in each case").
 
-The full grid (environments x traces x protocols) is submitted through
-:class:`~repro.experiments.parallel.ExperimentPool`; pass ``jobs=N`` (or
-set the runner's ``--jobs``) to fan the replays over worker processes.
-Results are identical for any job count.
+The full grid (environments x traces x protocols) is declared as one
+:class:`repro.api.GridSpec` and planned by :class:`repro.api.Session`
+(``engine="auto"`` batches the grid, cold stores are pre-warmed one
+artefact per worker, ``jobs=N``/``--jobs`` fans replays over worker
+processes).  Results are identical for any job count and any engine.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..channel import get_store
+from ..api import GridSpec, Session
 from ..mac import mean_confidence_interval, normalise_to
 from .common import INDOOR_OUTDOOR_ENVS, RATE_PROTOCOLS, print_table
-from .parallel import ExperimentPool, ThroughputTask, warm_cache_task
 
 __all__ = ["run_comparison", "run", "main"]
 
@@ -41,42 +41,28 @@ def run_comparison(
     normalise: str = "HintAware",
     seed0: int = 0,
     jobs: int | None = None,
+    session: Session | None = None,
 ) -> dict:
     """Mean normalised throughput per protocol per environment.
 
     Returns ``{env: {protocol: normalised mean}}`` plus confidence
-    half-widths and the absolute reference throughput.
+    half-widths and the absolute reference throughput.  ``jobs`` is the
+    legacy shim for callers without a session.
     """
-    pool = ExperimentPool(jobs)
-    if pool.jobs > 1 and get_store().enabled:
-        # Cold-store pre-warm: one worker per unique artefact, so the
-        # six protocol replays sharing a trace never regenerate it in
-        # parallel (hints are env-independent, hence the separate
-        # list).  A warm store makes this a cheap no-op pass.
-        pool.map(
-            warm_cache_task,
-            [("trace", env, mode, seed0 + i, duration_s)
-             for env in environments for i in range(n_traces)]
-            + [("hints", mode, seed0 + i, duration_s)
-               for i in range(n_traces)],
-        )
-
+    if session is None:
+        session = Session(jobs=jobs)
     protocols = list(RATE_PROTOCOLS)
-    tasks = [
-        ThroughputTask(
-            protocol=protocol,
-            env=env,
-            mode=mode,
-            seed=seed0 + i,
-            duration_s=duration_s,
-            tcp=tcp,
-            best_samplerate=(protocol == "SampleRate"),
-        )
-        for env in environments
-        for i in range(n_traces)
-        for protocol in protocols
-    ]
-    throughputs = pool.throughputs(tasks)
+    grid = GridSpec(
+        protocols=tuple(protocols),
+        envs=tuple(environments),
+        mode=mode,
+        n_seeds=n_traces,
+        seed0=seed0,
+        duration_s=duration_s,
+        tcp=tcp,
+        best_samplerate_protocols=("SampleRate",),
+    )
+    throughputs = session.run(grid).throughputs
 
     out: dict = {"mode": mode, "normalise": normalise, "envs": {}}
     cursor = 0
@@ -102,13 +88,16 @@ def run_comparison(
     return out
 
 
-def run(seed: int = 0, n_traces: int = 10, jobs: int | None = None) -> dict:
+def run(seed: int = 0, n_traces: int = 10, jobs: int | None = None,
+        session: Session | None = None) -> dict:
     """Figure 3-5 proper: mixed-mobility TCP, normalised to hint-aware."""
-    return run_comparison("mixed", n_traces=n_traces, seed0=seed, jobs=jobs)
+    return run_comparison("mixed", n_traces=n_traces, seed0=seed, jobs=jobs,
+                          session=session)
 
 
-def main(seed: int = 0, n_traces: int = 10, jobs: int | None = None) -> dict:
-    result = run(seed, n_traces, jobs=jobs)
+def main(seed: int = 0, n_traces: int = 10, jobs: int | None = None,
+         session: Session | None = None) -> dict:
+    result = run(seed, n_traces, jobs=jobs, session=session)
     for env, data in result["envs"].items():
         print_table(
             f"Figure 3-5 ({env}): throughput / hint-aware, mixed mobility",

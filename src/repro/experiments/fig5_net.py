@@ -1,21 +1,23 @@
 """Network scenarios: multi-station simulation grids (Sections 2.3, 5.2).
 
-Fans the :mod:`repro.network` scenario catalog over an
-(scenario x seed x association policy) grid through
-:class:`~repro.experiments.parallel.ExperimentPool`, reporting aggregate
-throughput, handoff counts and mean association lifetimes -- the
-network-scale counterpart of the per-figure drivers.  Station traces and
-hint series are warmed into the on-disk store by a first pool pass, so
-grid workers replay instead of regenerating.
+Declares the :mod:`repro.network` scenario catalog as an
+(scenario x seed x association policy) grid of
+:class:`repro.api.NetworkRunSpec`\\ s and hands it to
+:class:`repro.api.Session`, reporting aggregate throughput, handoff
+counts and mean association lifetimes -- the network-scale counterpart
+of the per-figure drivers.  The session warms station traces and hint
+series into the on-disk store one artefact per worker, then fans the
+replays out; ``engine="auto"`` picks the batch scenario engine for
+dense cells (bit-identical results either way).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api import NetworkRunSpec, Session
 from ..network.scenario import ASSOCIATION_POLICIES, NETWORK_ENGINES
 from .common import print_table
-from .parallel import BatchExperimentPool, ExperimentPool
 
 __all__ = ["ScenarioTask", "run_scenario_task", "warm_scenario_task",
            "run_grid", "run", "main"]
@@ -83,56 +85,50 @@ def run_grid(
     policies: tuple[str, ...] = POLICIES,
     duration_s: float | None = None,
     jobs: int | None = None,
-    engine: str = "reference",
+    engine: str = "auto",
+    session: Session | None = None,
 ) -> dict[tuple[str, str], list[dict]]:
-    """Replay every (scenario, policy) over all seeds; pool fan-out.
+    """Replay every (scenario, policy) over all seeds; session fan-out.
 
     Returns ``{(scenario, policy): [summary per seed]}`` in a fixed
     order, identical for any job count *and any engine* -- the batch
     scenario engine is pinned bit-identical to the reference one, so
-    ``engine="batch"`` (via :class:`BatchExperimentPool`) only changes
-    how fast the grid fills in.
+    the engine choice (including the session's ``auto`` planning) only
+    changes how fast the grid fills in.
+
+    ``jobs`` and ``engine`` are legacy shims consulted only when no
+    ``session`` is passed; a session carries its own engine preference
+    and worker count.
     """
-    from ..network import make_scenario
-
-    if engine not in NETWORK_ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; expected one of {NETWORK_ENGINES}"
-        )
-    pool = (BatchExperimentPool(jobs=jobs) if engine == "batch"
-            else ExperimentPool(jobs=jobs))
-    warm: list[tuple] = []
-    for name in scenarios:
-        for seed in seeds:
-            scenario = make_scenario(name, seed=seed, duration_s=duration_s)
-            warm += [(name, seed, duration_s, i)
-                     for i in range(scenario.n_stations)]
-    pool.map(warm_scenario_task, warm)
-
-    tasks = [
-        ScenarioTask(scenario=name, seed=seed, policy=policy,
-                     duration_s=duration_s, engine=engine)
+    if session is None:
+        session = Session(engine=engine, jobs=jobs)
+    specs = [
+        NetworkRunSpec(scenario=name, seed=seed, policy=policy,
+                       duration_s=duration_s)
         for name in scenarios
         for policy in policies
         for seed in seeds
     ]
-    summaries = pool.scenario_summaries(tasks)
+    runs = session.map(specs)
     grid: dict[tuple[str, str], list[dict]] = {}
-    for task, summary in zip(tasks, summaries):
-        grid.setdefault((task.scenario, task.policy), []).append(summary)
+    for spec, run in zip(specs, runs):
+        grid.setdefault((spec.scenario, spec.policy), []).append(
+            run.result.to_dict())
     return grid
 
 
 def run(seed: int = 0, n_seeds: int = 2, duration_s: float | None = None,
         jobs: int | None = None,
         policies: tuple[str, ...] = POLICIES,
-        engine: str = "reference") -> dict:
+        engine: str = "auto",
+        session: Session | None = None) -> dict:
     """The default grid: full catalog x the association policies."""
     from ..network import scenario_names
 
     seeds = tuple(seed + i for i in range(n_seeds))
     grid = run_grid(tuple(scenario_names()), seeds, policies=policies,
-                    duration_s=duration_s, jobs=jobs, engine=engine)
+                    duration_s=duration_s, jobs=jobs, engine=engine,
+                    session=session)
     rows: dict[str, dict] = {}
     for (name, policy), summaries in sorted(grid.items()):
         n = len(summaries)
@@ -145,7 +141,8 @@ def run(seed: int = 0, n_seeds: int = 2, duration_s: float | None = None,
 
 
 def main(seed: int = 0, n_seeds: int = 2, jobs: int | None = None,
-         quick: bool = False, engine: str = "reference") -> dict:
+         quick: bool = False, engine: str = "auto",
+         session: Session | None = None) -> dict:
     # Quick mode: one seed, short replays, and a single policy -- at
     # 10 s no scenario hands off, so a policy comparison would just
     # duplicate every (expensive) replay for identical rows.
@@ -153,7 +150,7 @@ def main(seed: int = 0, n_seeds: int = 2, jobs: int | None = None,
     result = run(seed, n_seeds=1 if quick else n_seeds,
                  duration_s=duration_s, jobs=jobs,
                  policies=("lifetime",) if quick else POLICIES,
-                 engine=engine)
+                 engine=engine, session=session)
     print_table(
         "Network scenarios: aggregate throughput / handoffs / lifetime",
         result["rows"],
@@ -172,10 +169,11 @@ def _cli(argv: list[str] | None = None) -> dict:
                         help="worker processes (default: REPRO_JOBS or 1)")
     parser.add_argument("--quick", action="store_true",
                         help="short scenario durations, one seed")
-    parser.add_argument("--engine", choices=list(NETWORK_ENGINES),
-                        default="reference",
+    parser.add_argument("--engine",
+                        choices=["auto", *NETWORK_ENGINES],
+                        default="auto",
                         help="scenario replay engine (bit-identical "
-                             "results; batch is the dense-cell fast path)")
+                             "results; auto picks batch for dense cells)")
     args = parser.parse_args(argv)
     return main(args.seed, n_seeds=args.seeds, jobs=args.jobs,
                 quick=args.quick, engine=args.engine)

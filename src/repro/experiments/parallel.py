@@ -23,6 +23,14 @@ The default job count is 1 (serial, zero-overhead); set it process-wide
 with :func:`set_default_jobs` (the runner's ``--jobs`` flag does this)
 or the ``REPRO_JOBS`` environment variable, or per-pool via
 ``ExperimentPool(jobs=N)``.
+
+.. deprecated::
+    The pools are now the *execution substrate* under
+    :class:`repro.api.Session`, which plans whole declarative workloads
+    (specs) over them -- including exactly the
+    :class:`BatchExperimentPool` grouping heuristic.  They keep working
+    unchanged as thin compatibility entry points, but new code should
+    construct specs and call the session; see ``repro.api``.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ __all__ = [
     "ThroughputTask",
     "derive_seed",
     "default_jobs",
+    "configured_default_jobs",
     "set_default_jobs",
     "run_throughput_task",
     "run_batch_tasks",
@@ -60,6 +69,17 @@ def default_jobs() -> int:
         return max(1, int(os.environ.get("REPRO_JOBS", "1")))
     except ValueError:
         return 1
+
+
+def configured_default_jobs() -> int | None:
+    """The :func:`set_default_jobs` value, or ``None`` if never set.
+
+    Exposed so :class:`repro.api.Session` can honour the documented
+    process-wide default without inheriting this module's forgiving
+    ``REPRO_JOBS`` parsing (the session parses the environment strictly
+    and raises ``ConfigError`` on nonsense).
+    """
+    return _DEFAULT_JOBS
 
 
 def set_default_jobs(jobs: int) -> None:

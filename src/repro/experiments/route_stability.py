@@ -8,9 +8,9 @@ versus maximin-CTE (hint-aware) -- and scored by how long they survive.
 
 from __future__ import annotations
 
+from ..api import Session
 from ..vehicular import compare_route_stability, simulate_vehicles
 from .common import print_table
-from .parallel import ExperimentPool
 
 __all__ = ["run", "main"]
 
@@ -29,11 +29,14 @@ def run(
     n_pairs_per_network: int = 30,
     seed0: int = 0,
     jobs: int | None = None,
+    session: Session | None = None,
 ) -> dict:
     # Dense downtown traffic (the paper's taxi networks): routes to
     # nearby infrastructure over 2-3 hops.  Network simulations are
-    # independent, so they fan out over the pool.
-    networks = ExperimentPool(jobs).map(
+    # independent, so they fan out over the session's workers.
+    if session is None:
+        session = Session(jobs=jobs)
+    networks = session.scatter(
         _simulate_network,
         [(n_vehicles, duration_s, seed0 + i) for i in range(n_networks)],
     )
@@ -49,8 +52,10 @@ def run(
     }
 
 
-def main(seed: int = 0, n_networks: int = 6, jobs: int | None = None) -> dict:
-    result = run(n_networks=n_networks, seed0=seed, jobs=jobs)
+def main(seed: int = 0, n_networks: int = 6, jobs: int | None = None,
+         session: Session | None = None) -> dict:
+    result = run(n_networks=n_networks, seed0=seed, jobs=jobs,
+                 session=session)
     print_table("Route stability: CTE vs min-hop", {
         "median CTE route lifetime (s)": result["median_cte_lifetime_s"],
         "median min-hop lifetime (s)": result["median_minhop_lifetime_s"],

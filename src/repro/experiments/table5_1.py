@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api import Session
 from ..vehicular import extract_links, median_duration_by_bucket, simulate_vehicles
 from .common import print_table
-from .parallel import ExperimentPool
 
 __all__ = ["run", "main"]
 
@@ -33,17 +33,20 @@ def run(
     duration_s: int = 300,
     seed0: int = 0,
     jobs: int | None = None,
+    session: Session | None = None,
 ) -> dict:
     """Simulate the ensemble and aggregate all links, like the paper.
 
     The per-network simulations are independent, so they fan out over
-    :class:`ExperimentPool` workers; link records are aggregated in
-    network order, identical to the serial loop.
+    :meth:`repro.api.Session.scatter` workers; link records are
+    aggregated in network order, identical to the serial loop.
     """
+    if session is None:
+        session = Session(jobs=jobs)
     tasks = [(n_vehicles, duration_s, seed0 + i) for i in range(n_networks)]
     all_links = [
         link
-        for links in ExperimentPool(jobs).map(_network_links, tasks)
+        for links in session.scatter(_network_links, tasks)
         for link in links
     ]
     medians = median_duration_by_bucket(all_links)
@@ -56,8 +59,10 @@ def run(
     }
 
 
-def main(seed: int = 0, n_networks: int = 15, jobs: int | None = None) -> dict:
-    result = run(n_networks=n_networks, seed0=seed, jobs=jobs)
+def main(seed: int = 0, n_networks: int = 15, jobs: int | None = None,
+         session: Session | None = None) -> dict:
+    result = run(n_networks=n_networks, seed0=seed, jobs=jobs,
+                 session=session)
     print_table("Table 5.1: median link duration (s) by heading difference", {
         **result["medians_s"],
         "links observed": result["n_links"],

@@ -16,6 +16,8 @@ from .trajectory import (
     driving_script,
     mixed_mobility_script,
     pacing_script,
+    script_from_segments,
+    segments_of,
     stationary_script,
     stop_and_go_script,
     walking_script,
@@ -41,6 +43,8 @@ __all__ = [
     "pacing_script",
     "stop_and_go_script",
     "drive_by_script",
+    "segments_of",
+    "script_from_segments",
     "Accelerometer",
     "ACCEL_RATE_HZ",
     "Compass",

@@ -35,6 +35,8 @@ __all__ = [
     "pacing_script",
     "stop_and_go_script",
     "drive_by_script",
+    "segments_of",
+    "script_from_segments",
 ]
 
 #: Standard indoor walking speed used throughout the paper's experiments.
@@ -354,3 +356,31 @@ def drive_by_script(
         for i in range(passes)
     ]
     return MotionScript(segments)
+
+
+def segments_of(script: MotionScript) -> tuple[tuple, ...]:
+    """A script as plain values, one 6-tuple per segment:
+    ``(kind, duration_s, speed_mps, heading_deg, turn_rate_dps, outdoor)``.
+
+    The inverse of :func:`script_from_segments`.  Plain values JSON-
+    round-trip exactly, so declarative workloads (``repro.api`` specs)
+    and the on-disk trace store can address hand-built scripts by
+    content instead of by object identity.
+    """
+    return tuple(
+        (seg.kind.value, float(seg.duration_s), float(seg.speed_mps),
+         float(seg.heading_deg), float(seg.turn_rate_dps), bool(seg.outdoor))
+        for seg in script.segments
+    )
+
+
+def script_from_segments(segments) -> MotionScript:
+    """Rebuild the :class:`MotionScript` a :func:`segments_of` tuple
+    describes (lists are accepted, as produced by a JSON round-trip)."""
+    return MotionScript([
+        MotionSegment(kind=Motion(kind), duration_s=duration_s,
+                      speed_mps=speed_mps, heading_deg=heading_deg,
+                      turn_rate_dps=turn_rate_dps, outdoor=outdoor)
+        for kind, duration_s, speed_mps, heading_deg, turn_rate_dps, outdoor
+        in segments
+    ])

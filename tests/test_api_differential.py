@@ -1,0 +1,153 @@
+"""Differential pins: the session-driven drivers reproduce the
+pre-refactor execution paths byte for byte.
+
+Each test re-creates, inline, the exact wiring a driver used before the
+``repro.api`` port -- hand-built ``ThroughputTask``/``ScenarioTask``
+grids over the legacy pools (which remain as shims) -- and compares the
+quick-scale ``runner --quick`` outputs: collected numbers *and* the
+printed report text must match exactly.  Because floats are compared
+for equality (not approximately), any drift in task ordering, seeding,
+engine selection or aggregation fails here before it can silently
+re-shape the paper's numbers.
+"""
+
+import io
+from contextlib import redirect_stdout
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.experiments import fig3_5, fig3_8, fig5_net
+from repro.experiments.common import RATE_PROTOCOLS, print_table
+from repro.experiments.fig5_net import ScenarioTask
+from repro.experiments.parallel import ExperimentPool, ThroughputTask
+from repro.mac import mean_confidence_interval, normalise_to
+
+pytestmark = pytest.mark.slow
+
+
+def _legacy_run_comparison(mode, environments, n_traces, duration_s, tcp,
+                           normalise, seed0):
+    """The pre-refactor fig3_5.run_comparison, wiring preserved verbatim
+    (ExperimentPool fan-out of a hand-built ThroughputTask grid)."""
+    pool = ExperimentPool(1)
+    protocols = list(RATE_PROTOCOLS)
+    tasks = [
+        ThroughputTask(
+            protocol=protocol, env=env, mode=mode, seed=seed0 + i,
+            duration_s=duration_s, tcp=tcp,
+            best_samplerate=(protocol == "SampleRate"),
+        )
+        for env in environments
+        for i in range(n_traces)
+        for protocol in protocols
+    ]
+    throughputs = pool.throughputs(tasks)
+    out = {"mode": mode, "normalise": normalise, "envs": {}}
+    cursor = 0
+    for env in environments:
+        per_protocol = {p: [] for p in protocols}
+        for _ in range(n_traces):
+            for protocol in protocols:
+                per_protocol[protocol].append(throughputs[cursor])
+                cursor += 1
+        means = {p: float(np.mean(v)) for p, v in per_protocol.items()}
+        normalised = normalise_to(means, normalise)
+        cis = {
+            p: mean_confidence_interval(
+                np.asarray(v) / means[normalise]
+            ).half_width
+            for p, v in per_protocol.items()
+        }
+        out["envs"][env] = {
+            "normalised": normalised,
+            "ci_half_width": cis,
+            "reference_mbps": means[normalise],
+        }
+    return out
+
+
+class TestFig3ComparisonDifferential:
+    """The rate-comparison grid (figures 3-5..3-8's shared engine)."""
+
+    def test_quick_grid_is_byte_identical(self):
+        kwargs = dict(mode="mixed", environments=("office",), n_traces=2,
+                      duration_s=8.0, tcp=True, normalise="HintAware",
+                      seed0=0)
+        legacy = _legacy_run_comparison(**kwargs)
+        ported = fig3_5.run_comparison(**kwargs, session=Session(jobs=1))
+        assert ported == legacy      # exact float equality, all keys
+
+    def test_quick_grid_any_session_engine(self):
+        kwargs = dict(mode="vehicular", environments=("vehicular",),
+                      n_traces=2, duration_s=6.0, tcp=False,
+                      normalise="RapidSample", seed0=0)
+        legacy = _legacy_run_comparison(**kwargs)
+        for engine in ("auto", "fast", "batch"):
+            ported = fig3_5.run_comparison(
+                **kwargs, session=Session(engine=engine, jobs=1))
+            assert ported == legacy, f"engine={engine} diverged"
+
+
+class TestPrintedReportDifferential:
+    """The printed runner stage output, byte for byte."""
+
+    def test_fig3_8_quick_stdout(self):
+        new_out = io.StringIO()
+        with redirect_stdout(new_out):
+            fig3_8.main(seed=0, n_traces=2, session=Session(jobs=1))
+
+        legacy = _legacy_run_comparison(
+            mode="vehicular", environments=("vehicular",), n_traces=2,
+            duration_s=10.0, tcp=False, normalise="RapidSample", seed0=0)
+        legacy_out = io.StringIO()
+        with redirect_stdout(legacy_out):
+            print_table(
+                "Figure 3-8 (vehicular): UDP throughput / RapidSample",
+                legacy["envs"]["vehicular"]["normalised"],
+            )
+        assert new_out.getvalue() == legacy_out.getvalue()
+
+
+class TestFig5NetDifferential:
+    """The network grid driver against the pre-refactor pool wiring."""
+
+    SCENARIOS = ("mixed_mobility",)
+    SEEDS = (7,)
+    POLICIES = ("strongest", "lifetime")
+    DURATION_S = 4.0
+
+    def _legacy_grid(self):
+        """Pre-refactor fig5_net.run_grid: ScenarioTask fan-out through
+        ExperimentPool.scenario_summaries (reference engine)."""
+        pool = ExperimentPool(1)
+        tasks = [
+            ScenarioTask(scenario=name, seed=seed, policy=policy,
+                         duration_s=self.DURATION_S, engine="reference")
+            for name in self.SCENARIOS
+            for policy in self.POLICIES
+            for seed in self.SEEDS
+        ]
+        summaries = pool.scenario_summaries(tasks)
+        grid = {}
+        for task, summary in zip(tasks, summaries):
+            grid.setdefault((task.scenario, task.policy), []).append(summary)
+        return grid
+
+    def test_grid_summaries_byte_identical(self):
+        legacy = self._legacy_grid()
+        ported = fig5_net.run_grid(self.SCENARIOS, self.SEEDS,
+                                   policies=self.POLICIES,
+                                   duration_s=self.DURATION_S,
+                                   session=Session(jobs=1))
+        assert ported == legacy
+
+    def test_grid_engine_forcing_changes_nothing(self):
+        legacy = self._legacy_grid()
+        for engine in ("auto", "reference", "batch"):
+            ported = fig5_net.run_grid(self.SCENARIOS, self.SEEDS,
+                                       policies=self.POLICIES,
+                                       duration_s=self.DURATION_S,
+                                       engine=engine)
+            assert ported == legacy, f"engine={engine} diverged"
